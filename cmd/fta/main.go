@@ -1,0 +1,561 @@
+// Command fta is the command-line front end of the fairtask library.
+//
+// Subcommands:
+//
+//	fta gen   -dataset syn|gm -out problem.csv [size flags]
+//	fta assign -in problem.csv -alg MPTA|GTA|FGT|IEGT [-eps km] [-seed n]
+//	fta sweep -fig fig2..fig12 [-scale n] [-gmscale n] [-seed n]
+//	fta sim   -in problem.csv -alg IEGT -epochs n [-dt hours]
+//	fta report -in problem.csv -alg FGT [-eps km]
+//
+// "fta sweep" regenerates the series behind every figure of the paper's
+// evaluation section; see EXPERIMENTS.md for the mapping.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"fairtask"
+	"fairtask/internal/experiment"
+	"fairtask/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "assign":
+		return cmdAssign(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
+	case "sim":
+		return cmdSim(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "online":
+		return cmdOnline(args[1:])
+	case "render":
+		return cmdRender(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fta <subcommand> [flags]
+
+subcommands:
+  gen     generate a SYN or GM dataset as CSV
+  assign  solve a dataset with one algorithm and print metrics
+  sweep   regenerate a paper figure's series (fig2..fig12)
+  sim     run the epoch-based platform simulation
+  report  solve a dataset and print a full fairness report
+  online  replay a random task stream through the online matcher
+  render  draw one center's assignment as an SVG map
+  serve   run the assignment engine as an HTTP service
+
+run "fta <subcommand> -h" for flags.`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("dataset", "syn", "dataset kind: syn, gm, or gmission (raw files)")
+		out     = fs.String("out", "", "output CSV path (default stdout)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		centers = fs.Int("centers", 0, "SYN: number of distribution centers")
+		tasks   = fs.Int("tasks", 0, "number of tasks |S|")
+		workers = fs.Int("workers", 0, "number of workers |W|")
+		points  = fs.Int("points", 0, "number of delivery points |DP|")
+		expiry  = fs.Float64("expiry", 0, "SYN: task expiry e in hours")
+		maxDP   = fs.Int("maxdp", 0, "worker maxDP (SYN)")
+		gmTasks = fs.String("gmission-tasks", "", "gmission: raw task CSV (id,x,y,expiry,reward)")
+		gmWork  = fs.String("gmission-workers", "", "gmission: raw worker CSV (id,x,y,maxdp)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var prob *fairtask.Problem
+	switch *kind {
+	case "syn":
+		p, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+			Seed: *seed, Centers: *centers, Tasks: *tasks, Workers: *workers,
+			DeliveryPoints: *points, Expiry: *expiry, MaxDP: *maxDP,
+		})
+		if err != nil {
+			return err
+		}
+		prob = p
+	case "gm":
+		in, err := fairtask.GenerateGM(fairtask.GMConfig{
+			Seed: *seed, Tasks: *tasks, Workers: *workers, DeliveryPoints: *points,
+		})
+		if err != nil {
+			return err
+		}
+		prob = &fairtask.Problem{Instances: []fairtask.Instance{*in}}
+	case "gmission":
+		if *gmTasks == "" || *gmWork == "" {
+			return fmt.Errorf("gmission requires -gmission-tasks and -gmission-workers")
+		}
+		tf, err := os.Open(*gmTasks)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		wf, err := os.Open(*gmWork)
+		if err != nil {
+			return err
+		}
+		defer wf.Close()
+		in, err := fairtask.LoadGMission(tf, wf, fairtask.GMissionOptions{
+			DeliveryPoints: *points, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		prob = &fairtask.Problem{Instances: []fairtask.Instance{*in}}
+	default:
+		return fmt.Errorf("unknown dataset %q (want syn, gm or gmission)", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fairtask.WriteCSV(w, prob); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d centers, %d points, %d tasks, %d workers\n",
+		len(prob.Instances), countPoints(prob), prob.TaskCount(), prob.WorkerCount())
+	return nil
+}
+
+func countPoints(p *fairtask.Problem) int {
+	var n int
+	for i := range p.Instances {
+		n += len(p.Instances[i].Points)
+	}
+	return n
+}
+
+func loadProblem(path string) (*fairtask.Problem, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fairtask.ReadCSV(f)
+}
+
+func cmdAssign(args []string) error {
+	fs := flag.NewFlagSet("assign", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input problem CSV")
+		alg    = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed   = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+		routes = fs.String("routes", "", "optional path for a per-stop route CSV export")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := loadProblem(*in)
+	if err != nil {
+		return err
+	}
+	opt := fairtask.Options{
+		Algorithm: fairtask.Algorithm(*alg),
+		Seed:      *seed,
+	}
+	if *eps > 0 {
+		opt.VDPS.Epsilon = *eps
+	} else {
+		opt.VDPS.Epsilon = math.Inf(1)
+	}
+	res, err := fairtask.SolveProblem(prob, opt)
+	if err != nil {
+		return err
+	}
+	if *routes != "" {
+		assignments := make([]*fairtask.Assignment, len(res.PerCenter))
+		for i, r := range res.PerCenter {
+			assignments[i] = r.Assignment
+		}
+		f, err := os.Create(*routes)
+		if err != nil {
+			return err
+		}
+		if err := fairtask.WriteAssignmentCSV(f, prob, assignments); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "algorithm\t%s\n", *alg)
+	fmt.Fprintf(tw, "workers\t%d\n", len(res.Payoffs))
+	fmt.Fprintf(tw, "payoff difference\t%.4f\n", res.Difference)
+	fmt.Fprintf(tw, "average payoff\t%.4f\n", res.Average)
+	fmt.Fprintf(tw, "cpu time\t%s\n", res.Elapsed)
+	return tw.Flush()
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "", "figure to regenerate (fig2..fig12); empty lists figures")
+		scale   = fs.Int("scale", 10, "SYN downscale factor (1 = paper scale)")
+		gmscale = fs.Int("gmscale", 1, "GM downscale factor")
+		seed    = fs.Int64("seed", 1, "random seed")
+		budget  = fs.Int("mpta-budget", 0, "MPTA node budget (0 = sweep default)")
+		table1  = fs.Bool("table1", false, "print the Table I parameter registry and exit")
+		reps    = fs.Int("reps", 1, "repetitions with consecutive seeds; >1 reports mean and std")
+		csvOut  = fs.String("csv", "", "also write the raw series as CSV to this path (single run only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *table1 {
+		return experiment.WriteTableI(os.Stdout)
+	}
+	if *fig == "" {
+		fmt.Println("available figures:")
+		for _, n := range experiment.Names() {
+			fmt.Println(" ", n)
+		}
+		return nil
+	}
+	cfg := experiment.Config{
+		Seed: *seed, SYNScale: *scale, GMScale: *gmscale, MPTANodeBudget: *budget,
+	}
+	if *reps > 1 {
+		agg, err := experiment.RunRepeated(*fig, cfg, *reps)
+		if err != nil {
+			return err
+		}
+		return agg.WriteTables(os.Stdout)
+	}
+	s, err := experiment.Run(*fig, cfg)
+	if err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return s.WriteTables(os.Stdout)
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "input problem CSV")
+		alg      = fs.String("alg", "IEGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		epochs   = fs.Int("epochs", 12, "number of assignment rounds")
+		dt       = fs.Float64("dt", 1, "epoch length in hours")
+		eps      = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed     = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+		arrivals = fs.Float64("arrivals", 0, "Poisson task arrivals per point per epoch (0 = none)")
+		rush     = fs.Bool("rush", false, "modulate arrivals with the bimodal rush-hour profile")
+		jsonOut  = fs.String("json", "", "also write the full report as JSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := loadProblem(*in)
+	if err != nil {
+		return err
+	}
+	solver, err := fairtask.NewAssigner(fairtask.Options{
+		Algorithm: fairtask.Algorithm(*alg), Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := fairtask.SimConfig{Epochs: *epochs, EpochLength: *dt, Solver: solver}
+	if *eps > 0 {
+		cfg.VDPS.Epsilon = *eps
+	}
+	if *arrivals > 0 {
+		ac := fairtask.ArrivalConfig{Seed: *seed, RatePerPoint: *arrivals}
+		if *rush {
+			ac.RateProfile = fairtask.RushHourProfile
+		}
+		cfg.TaskSource = fairtask.NewPoissonArrivals(ac)
+	}
+	rep, err := fairtask.Simulate(prob, cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epoch\tonline\tassigned\tcompleted\texpired\tP_dif\tavg payoff")
+	for _, e := range rep.Epochs {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\n",
+			e.Epoch, e.OnlineWorkers, e.AssignedWorkers, e.CompletedTasks,
+			e.ExpiredTasks, e.Difference, e.Average)
+	}
+	fmt.Fprintf(tw, "\ntotal completed\t%d\n", rep.CompletedTasks)
+	fmt.Fprintf(tw, "total expired\t%d\n", rep.ExpiredTasks)
+	fmt.Fprintf(tw, "cumulative P_dif\t%.4f\n", rep.CumulativeDifference)
+	fmt.Fprintf(tw, "cumulative avg rate\t%.4f\n", rep.CumulativeAverage)
+	return tw.Flush()
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input problem CSV")
+		alg  = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT or MMTA")
+		eps  = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := loadProblem(*in)
+	if err != nil {
+		return err
+	}
+	opt := fairtask.Options{Algorithm: fairtask.Algorithm(*alg), Seed: *seed}
+	if *eps > 0 {
+		opt.VDPS.Epsilon = *eps
+	} else {
+		opt.VDPS.Epsilon = math.Inf(1)
+	}
+	res, err := fairtask.SolveProblem(prob, opt)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "algorithm\t%s\n", *alg)
+	fmt.Fprintf(tw, "workers\t%d\n", len(res.Payoffs))
+	fmt.Fprintf(tw, "payoff difference (P_dif)\t%.4f\n", res.Difference)
+	fmt.Fprintf(tw, "average payoff\t%.4f\n", res.Average)
+	fmt.Fprintf(tw, "minimum payoff\t%.4f\n", fairtask.MinPayoff(res.Payoffs))
+	fmt.Fprintf(tw, "Gini coefficient\t%.4f\n", fairtask.Gini(res.Payoffs))
+	fmt.Fprintf(tw, "Jain index\t%.4f\n", fairtask.JainIndex(res.Payoffs))
+	fmt.Fprintf(tw, "payoff quartiles (p25/p50/p75)\t%.4f / %.4f / %.4f\n",
+		fairtask.PayoffQuantile(res.Payoffs, 0.25),
+		fairtask.PayoffQuantile(res.Payoffs, 0.5),
+		fairtask.PayoffQuantile(res.Payoffs, 0.75))
+	fmt.Fprintf(tw, "cpu time\t%s\n", res.Elapsed)
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "center\tworkers\tassigned\tP_dif\tavg payoff")
+	for i, r := range res.PerCenter {
+		s := r.Summary
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\n",
+			prob.Instances[i].CenterID, len(s.Payoffs), s.Assigned, s.Difference, s.Average)
+	}
+	return tw.Flush()
+}
+
+func cmdOnline(args []string) error {
+	fs := flag.NewFlagSet("online", flag.ContinueOnError)
+	var (
+		workers = fs.Int("workers", 8, "number of couriers")
+		tasks   = fs.Int("tasks", 200, "number of arriving tasks")
+		rate    = fs.Float64("rate", 40, "task arrivals per hour")
+		window  = fs.Float64("window", 0.75, "delivery window per task in hours")
+		space   = fs.Float64("space", 6, "side length of the service square in km")
+		speed   = fs.Float64("speed", 12, "courier speed in km/h")
+		seed    = fs.Int64("seed", 1, "random seed for the stream")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rate <= 0 || *tasks <= 0 || *workers <= 0 {
+		return fmt.Errorf("rate, tasks and workers must be positive")
+	}
+	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, *speed)
+	if err != nil {
+		return err
+	}
+	inst := &fairtask.Instance{
+		Center: fairtask.Pt(*space/2, *space/2),
+		Travel: travel,
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	for w := 0; w < *workers; w++ {
+		inst.Workers = append(inst.Workers, fairtask.Worker{
+			ID:  w,
+			Loc: fairtask.Pt(rng.Float64()**space, rng.Float64()**space),
+		})
+	}
+	type arrival struct {
+		at   float64
+		task fairtask.OnlineTask
+	}
+	stream := make([]arrival, *tasks)
+	for i := range stream {
+		at := float64(i) / *rate
+		stream[i] = arrival{
+			at: at,
+			task: fairtask.OnlineTask{
+				ID:     i,
+				Loc:    fairtask.Pt(rng.Float64()**space, rng.Float64()**space),
+				Expiry: at + *window,
+				Reward: 1,
+			},
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tassigned\trejected\trate spread (P_dif)\tavg rate")
+	for _, policy := range []fairtask.OnlinePolicy{fairtask.OnlineGreedy, fairtask.OnlineFairFirst} {
+		m, err := fairtask.NewOnlineMatcher(inst, policy)
+		if err != nil {
+			return err
+		}
+		for _, a := range stream {
+			m.Offer(a.at, a.task)
+		}
+		rep := m.Report()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.4f\n",
+			rep.Policy, rep.Assigned, rep.Rejected, rep.RateDifference, rep.RateAverage)
+	}
+	return tw.Flush()
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input problem CSV")
+		center = fs.Int("center", -1, "center ID to draw (-1 = first)")
+		alg    = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT or MMTA")
+		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed   = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+		out    = fs.String("out", "", "output SVG path (default stdout)")
+		labels = fs.Bool("labels", false, "draw point and worker labels")
+		width  = fs.Int("width", 720, "canvas width in pixels")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := loadProblem(*in)
+	if err != nil {
+		return err
+	}
+	var inst *fairtask.Instance
+	for i := range prob.Instances {
+		if *center == -1 || prob.Instances[i].CenterID == *center {
+			inst = &prob.Instances[i]
+			break
+		}
+	}
+	if inst == nil {
+		return fmt.Errorf("center %d not found", *center)
+	}
+	opt := fairtask.Options{Algorithm: fairtask.Algorithm(*alg), Seed: *seed}
+	if *eps > 0 {
+		opt.VDPS.Epsilon = *eps
+	} else {
+		opt.VDPS.Epsilon = math.Inf(1)
+	}
+	res, err := fairtask.Solve(inst, opt)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return fairtask.RenderSVG(w, inst, res.Assignment, fairtask.RenderOptions{
+		Width:      *width,
+		ShowLabels: *labels,
+	})
+}
+
+// newServerHandler builds the HTTP handler over the library's full
+// algorithm set. Split out so tests can mount it on httptest servers.
+func newServerHandler() http.Handler {
+	return server.New(func(algorithm string, seed int64) (fairtask.Assigner, error) {
+		return fairtask.NewAssigner(fairtask.Options{
+			Algorithm: fairtask.Algorithm(algorithm),
+			Seed:      seed,
+		})
+	})
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8732", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServerHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "fta: serving on http://%s (POST /solve, GET /healthz)\n", *addr)
+	return srv.ListenAndServe()
+}

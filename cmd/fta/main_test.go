@@ -1,0 +1,377 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestGenAssignSimPipeline(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "3",
+		"-centers", "2", "-tasks", "60", "-workers", "8", "-points", "16",
+		"-out", csv}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("gen wrote nothing: %v", err)
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "IEGT", "-eps", "2"})
+	})
+	if err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	for _, want := range []string{"IEGT", "payoff difference", "average payoff"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assign output missing %q in:\n%s", want, out)
+		}
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"sim", "-in", csv, "-alg", "GTA", "-epochs", "2"})
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	for _, want := range []string{"epoch", "cumulative P_dif", "total completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenGMToStdout(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"gen", "-dataset", "gm", "-tasks", "30",
+			"-workers", "4", "-points", "10"})
+	})
+	if err != nil {
+		t.Fatalf("gen gm: %v", err)
+	}
+	if !strings.Contains(out, "meta,") || !strings.Contains(out, "center,") {
+		t.Errorf("CSV header records missing:\n%.200s", out)
+	}
+}
+
+func TestGenUnknownDataset(t *testing.T) {
+	if err := run([]string{"gen", "-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestAssignRequiresInput(t *testing.T) {
+	if err := run([]string{"assign"}); err == nil {
+		t.Error("assign without -in accepted")
+	}
+	if err := run([]string{"assign", "-in", "/nonexistent/x.csv"}); err == nil {
+		t.Error("assign with missing file accepted")
+	}
+}
+
+func TestAssignUnknownAlgorithm(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	if err := run([]string{"gen", "-dataset", "gm", "-tasks", "20",
+		"-workers", "3", "-points", "6", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"assign", "-in", csv, "-alg", "XXX"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSweepListsFigures(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sweep"})
+	})
+	if err != nil {
+		t.Fatalf("sweep list: %v", err)
+	}
+	for _, want := range []string{"fig2", "fig12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure list missing %q", want)
+		}
+	}
+}
+
+func TestSweepRunsTinyFigure(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "-fig", "fig12", "-scale", "100", "-gmscale", "5"})
+	})
+	if err != nil {
+		t.Fatalf("sweep fig12: %v", err)
+	}
+	if !strings.Contains(out, "Convergence") || !strings.Contains(out, "FGT") {
+		t.Errorf("sweep output unexpected:\n%s", out)
+	}
+}
+
+func TestSweepUnknownFigure(t *testing.T) {
+	if err := run([]string{"sweep", "-fig", "fig99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestAssignRoutesExport(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	routes := filepath.Join(dir, "routes.csv")
+	if err := run([]string{"gen", "-dataset", "gm", "-tasks", "40",
+		"-workers", "5", "-points", "10", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "GTA", "-routes", routes})
+	}); err != nil {
+		t.Fatalf("assign -routes: %v", err)
+	}
+	data, err := os.ReadFile(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "center,worker,stop,point") {
+		t.Errorf("routes CSV malformed:\n%.120s", data)
+	}
+}
+
+func TestReport(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-centers", "2",
+		"-tasks", "40", "-workers", "8", "-points", "12", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"report", "-in", csv, "-alg", "MMTA"})
+	})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	for _, want := range []string{"Gini", "Jain", "minimum payoff", "center"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepTable1(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "-table1"})
+	})
+	if err != nil {
+		t.Fatalf("sweep -table1: %v", err)
+	}
+	if !strings.Contains(out, "epsilon") || !strings.Contains(out, "maxDP") {
+		t.Errorf("table1 output unexpected:\n%s", out)
+	}
+}
+
+func TestSweepRepeated(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "-fig", "fig12", "-scale", "100",
+			"-gmscale", "5", "-reps", "2"})
+	})
+	if err != nil {
+		t.Fatalf("sweep -reps: %v", err)
+	}
+	if !strings.Contains(out, "mean of 2 runs") {
+		t.Errorf("repeated sweep output unexpected:\n%s", out)
+	}
+}
+
+func TestOnline(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"online", "-workers", "4", "-tasks", "40"})
+	})
+	if err != nil {
+		t.Fatalf("online: %v", err)
+	}
+	for _, want := range []string{"greedy", "fair-first", "rate spread"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("online output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"online", "-rate", "0"}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	svg := filepath.Join(dir, "map.svg")
+	if err := run([]string{"gen", "-dataset", "gm", "-tasks", "30",
+		"-workers", "4", "-points", "8", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"render", "-in", csv, "-alg", "GTA", "-out", svg, "-labels"}); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("not an SVG:\n%.80s", data)
+	}
+	if err := run([]string{"render", "-in", csv, "-center", "99"}); err == nil {
+		t.Error("missing center accepted")
+	}
+}
+
+func TestSweepCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "series.csv")
+	if _, err := capture(t, func() error {
+		return run([]string{"sweep", "-fig", "fig12", "-scale", "100",
+			"-gmscale", "5", "-csv", csvPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,x,algorithm") {
+		t.Errorf("series CSV malformed:\n%.100s", data)
+	}
+}
+
+func TestSimArrivalsAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	jsonPath := filepath.Join(dir, "report.json")
+	if err := run([]string{"gen", "-dataset", "syn", "-centers", "1",
+		"-tasks", "20", "-workers", "4", "-points", "8", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"sim", "-in", csv, "-alg", "GTA", "-epochs", "3",
+			"-arrivals", "1", "-rush", "-json", jsonPath})
+	}); err != nil {
+		t.Fatalf("sim with arrivals: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := jsonUnmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if _, ok := rep["Epochs"]; !ok {
+		t.Error("JSON report missing Epochs")
+	}
+}
+
+func jsonUnmarshal(data []byte, v any) error {
+	return json.Unmarshal(data, v)
+}
+
+func TestServeHandler(t *testing.T) {
+	srv := httptest.NewServer(newServerHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	// Round-trip a real problem through the HTTP API with FGT.
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "p.csv")
+	if err := run([]string{"gen", "-dataset", "gm", "-tasks", "30",
+		"-workers", "4", "-points", "8", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/solve?alg=FGT&seed=2", "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["algorithm"] != "FGT" {
+		t.Errorf("algorithm = %v", out["algorithm"])
+	}
+}
+
+func TestGenGMissionRawFiles(t *testing.T) {
+	dir := t.TempDir()
+	tasks := filepath.Join(dir, "tasks.csv")
+	workers := filepath.Join(dir, "workers.csv")
+	out := filepath.Join(dir, "p.csv")
+	if err := os.WriteFile(tasks, []byte(
+		"0,0.1,0.1,2,1\n1,0.2,0.1,2,1\n2,2.0,2.1,2,1\n3,2.1,2.0,2,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(workers, []byte("0,1,1,3\n1,0.5,0.5,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gen", "-dataset", "gmission",
+		"-gmission-tasks", tasks, "-gmission-workers", workers,
+		"-points", "2", "-out", out}); err != nil {
+		t.Fatalf("gen gmission: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", out, "-alg", "GTA"})
+	}); err != nil {
+		t.Fatalf("assign on loaded gmission: %v", err)
+	}
+	if err := run([]string{"gen", "-dataset", "gmission"}); err == nil {
+		t.Error("missing raw file flags accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package fairtask_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented parses every library source file and fails
+// on any exported declaration without a doc comment — the mechanical form
+// of the "document every public item" policy. Example binaries are exempt.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (name == "examples" || name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 20 {
+		t.Fatalf("suspiciously few source files found: %d", len(files))
+	}
+
+	fset := token.NewFileSet()
+	var missing []string
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					missing = append(missing, loc(path, fset, d.Pos(), "func "+d.Name.Name))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							missing = append(missing, loc(path, fset, sp.Pos(), "type "+sp.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+								missing = append(missing, loc(path, fset, name.Pos(), "value "+name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Error("undocumented exported symbol: " + m)
+	}
+}
+
+func loc(path string, fset *token.FileSet, pos token.Pos, what string) string {
+	p := fset.Position(pos)
+	return path + ":" + itoa(p.Line) + " " + what
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,98 @@
+package fairtask_test
+
+import (
+	"fmt"
+	"log"
+
+	"fairtask"
+)
+
+// ExampleSolve builds a tiny hand-crafted instance — one center, three
+// delivery points on a line, two couriers — and solves it with the
+// fairness-aware game-theoretic algorithm.
+func ExampleSolve() {
+	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &fairtask.Instance{
+		Center: fairtask.Pt(0, 0),
+		Travel: travel,
+		Points: []fairtask.DeliveryPoint{
+			{ID: 0, Loc: fairtask.Pt(1, 0), Tasks: []fairtask.Task{
+				{ID: 0, Point: 0, Expiry: 10, Reward: 2}}},
+			{ID: 1, Loc: fairtask.Pt(2, 0), Tasks: []fairtask.Task{
+				{ID: 1, Point: 1, Expiry: 10, Reward: 2}}},
+			{ID: 2, Loc: fairtask.Pt(0, 2), Tasks: []fairtask.Task{
+				{ID: 2, Point: 2, Expiry: 10, Reward: 3}}},
+		},
+		Workers: []fairtask.Worker{
+			{ID: 0, Loc: fairtask.Pt(-1, 0), MaxDP: 2},
+			{ID: 1, Loc: fairtask.Pt(0, -1), MaxDP: 2},
+		},
+	}
+	res, err := fairtask.Solve(inst, fairtask.Options{
+		Algorithm: fairtask.AlgFGT,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("assigned workers:", res.Summary.Assigned)
+	fmt.Println("disjoint:", res.Assignment.Validate(inst) == nil)
+	// Output:
+	// converged: true
+	// assigned workers: 2
+	// disjoint: true
+}
+
+// ExamplePayoffDifference computes the paper's unfairness measure P_dif
+// (Equation 2) over a payoff vector.
+func ExamplePayoffDifference() {
+	payoffs := []float64{2, 2, 5}
+	fmt.Printf("P_dif = %.2f\n", fairtask.PayoffDifference(payoffs))
+	fmt.Printf("average = %.2f\n", fairtask.AveragePayoff(payoffs))
+	// Output:
+	// P_dif = 2.00
+	// average = 3.00
+}
+
+// ExampleGenerateSYN generates a scaled-down version of the paper's
+// synthetic workload (Table I) and reports its shape.
+func ExampleGenerateSYN() {
+	p, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed:           1,
+		Centers:        4,
+		Tasks:          200,
+		Workers:        16,
+		DeliveryPoints: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("centers:", len(p.Instances))
+	fmt.Println("tasks:", p.TaskCount())
+	fmt.Println("workers:", p.WorkerCount())
+	// Output:
+	// centers: 4
+	// tasks: 200
+	// workers: 16
+}
+
+// ExampleNewAssigner shows the algorithm-agnostic interface used by the
+// multi-center solver and the platform simulation.
+func ExampleNewAssigner() {
+	for _, alg := range fairtask.Algorithms() {
+		a, err := fairtask.NewAssigner(fairtask.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(a.Name())
+	}
+	// Output:
+	// MPTA
+	// GTA
+	// FGT
+	// IEGT
+}

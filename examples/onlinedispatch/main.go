@@ -1,0 +1,81 @@
+// Online dispatch: the single-task assignment mode of the paper's §III,
+// where delivery requests arrive one at a time over an afternoon and must
+// be matched to a courier immediately.
+//
+// The same 200-request stream is replayed under two policies — greedy
+// (fastest completion) and fair-first (lowest cumulative earnings rate) —
+// showing the batch result in its online form: fairness-aware matching
+// narrows the courier earnings spread at a small throughput cost.
+//
+// Run with: go run ./examples/onlinedispatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"fairtask"
+)
+
+func main() {
+	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, 12) // cargo bikes
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &fairtask.Instance{
+		Center: fairtask.Pt(0, 0),
+		Travel: travel,
+	}
+	for w := 0; w < 8; w++ {
+		angle := float64(w) / 8 * 6.28318
+		inst.Workers = append(inst.Workers, fairtask.Worker{
+			ID:  w,
+			Loc: fairtask.Pt(1.5*math.Cos(angle), 1.5*math.Sin(angle)),
+		})
+	}
+
+	// A reproducible afternoon of requests: one every ~90 seconds, drop-off
+	// within 3 km of the hub, 45-minute delivery windows.
+	rng := rand.New(rand.NewSource(99))
+	type arrival struct {
+		at   float64
+		task fairtask.OnlineTask
+	}
+	var stream []arrival
+	for i := 0; i < 200; i++ {
+		at := float64(i) * 0.025 // hours
+		stream = append(stream, arrival{
+			at: at,
+			task: fairtask.OnlineTask{
+				ID:     i,
+				Loc:    fairtask.Pt(rng.Float64()*6-3, rng.Float64()*6-3),
+				Expiry: at + 0.75,
+				Reward: 1,
+			},
+		})
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tassigned\trejected\trate spread (P_dif)\tavg rate")
+	for _, policy := range []fairtask.OnlinePolicy{fairtask.OnlineGreedy, fairtask.OnlineFairFirst} {
+		m, err := fairtask.NewOnlineMatcher(inst, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range stream {
+			m.Offer(a.at, a.task)
+		}
+		rep := m.Report()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\n",
+			rep.Policy, rep.Assigned, rep.Rejected, rep.RateDifference, rep.RateAverage)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfair-first trades a little throughput for a much tighter")
+	fmt.Println("earnings-rate spread across couriers.")
+}

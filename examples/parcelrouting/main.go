@@ -1,0 +1,87 @@
+// Parcel routing: a multi-depot parcel network solved per depot in
+// parallel, plus a day-long platform simulation with worker lifecycles.
+//
+// The scenario: a regional parcel operator with 8 depots, 400 drop points
+// and 160 drivers. One-shot assignment compares GTA with IEGT over the whole
+// driver population; then an 8-round simulation shows drivers going offline
+// while driving routes and parcels expiring when nobody can take them.
+//
+// Run with: go run ./examples/parcelrouting
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fairtask"
+)
+
+func main() {
+	prob, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed:           2024,
+		Centers:        8,
+		DeliveryPoints: 400,
+		Workers:        160,
+		Tasks:          8000,
+		Expiry:         2, // hours
+		MaxDP:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d depots, %d drop points, %d parcels, %d drivers\n\n",
+		len(prob.Instances), 400, prob.TaskCount(), prob.WorkerCount())
+
+	// One-shot assignment across all depots in parallel.
+	for _, alg := range []fairtask.Algorithm{fairtask.AlgGTA, fairtask.AlgIEGT} {
+		res, err := fairtask.SolveProblem(prob, fairtask.Options{
+			Algorithm: alg,
+			Seed:      5,
+			VDPS:      fairtask.VDPSOptions{Epsilon: 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s payoff difference %.3f, average payoff %.3f (solved in %s)\n",
+			alg, res.Difference, res.Average, res.Elapsed.Round(1000000))
+	}
+
+	// Day simulation: drivers go offline for the duration of their routes;
+	// parcels not assigned before their deadline expire.
+	solver, err := fairtask.NewAssigner(fairtask.Options{
+		Algorithm: fairtask.AlgIEGT, Seed: 5,
+		VDPS: fairtask.VDPSOptions{Epsilon: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fairtask.Simulate(prob, fairtask.SimConfig{
+		Epochs:      8,
+		EpochLength: 0.5, // assignment round every 30 simulated minutes
+		Solver:      solver,
+		VDPS:        fairtask.VDPSOptions{Epsilon: 2},
+		// Fresh parcels keep arriving: on average half a parcel per drop
+		// point every round, valid for 2 hours.
+		TaskSource: fairtask.NewPoissonArrivals(fairtask.ArrivalConfig{
+			Seed: 7, RatePerPoint: 0.5, Lifetime: 2,
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsimulated morning (IEGT every 30 min):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tclock\tonline\tassigned\tdelivered\texpired")
+	for _, e := range rep.Epochs {
+		fmt.Fprintf(tw, "%d\t%.1fh\t%d\t%d\t%d\t%d\n",
+			e.Epoch, e.Now, e.OnlineWorkers, e.AssignedWorkers,
+			e.CompletedTasks, e.ExpiredTasks)
+	}
+	tw.Flush()
+	fmt.Printf("\ndelivered %d parcels, %d expired\n", rep.CompletedTasks, rep.ExpiredTasks)
+	fmt.Printf("long-run earnings-rate inequality across drivers: %.3f (avg rate %.3f)\n",
+		rep.CumulativeDifference, rep.CumulativeAverage)
+}

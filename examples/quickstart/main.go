@@ -1,0 +1,50 @@
+// Quickstart: generate a gMission-style workload, run all four assignment
+// algorithms, and compare fairness (payoff difference) against average
+// payoff — the paper's core trade-off.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fairtask"
+)
+
+func main() {
+	// A single distribution center with clustered tasks, 100 delivery
+	// points derived by k-means, and 40 couriers (Table I GM defaults).
+	inst, err := fairtask.GenerateGM(fairtask.GMConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d delivery points, %d tasks, %d workers\n\n",
+		len(inst.Points), inst.TaskCount(), len(inst.Workers))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tpayoff difference\taverage payoff\titerations\tconverged")
+	for _, alg := range fairtask.Algorithms() {
+		res, err := fairtask.Solve(inst, fairtask.Options{
+			Algorithm: alg,
+			Seed:      7,
+			// Distance-constrained pruning at the paper's GM default.
+			VDPS: fairtask.VDPSOptions{Epsilon: 0.6},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%d\t%v\n",
+			alg, res.Summary.Difference, res.Summary.Average,
+			res.Iterations, res.Converged)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nLower payoff difference = fairer assignment.")
+	fmt.Println("The game-theoretic methods (FGT, IEGT) trade a little average")
+	fmt.Println("payoff for much lower inequality between workers.")
+}

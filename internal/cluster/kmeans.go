@@ -1,0 +1,179 @@
+// Package cluster implements k-means clustering over 2D points.
+//
+// The paper derives delivery points for the gMission dataset by k-means
+// clustering task locations into x clusters (x = 20, 40, 60, 80, 100) and
+// treating each centroid as a delivery point; the tasks of a cluster are the
+// deliveries to that point. This package is that substrate.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"fairtask/internal/geo"
+)
+
+// Result describes a k-means clustering of a point set.
+type Result struct {
+	// Centroids holds the final cluster centers, len == K.
+	Centroids []geo.Point
+	// Assign maps each input point index to its cluster index in Centroids.
+	Assign []int
+	// Inertia is the sum of squared Euclidean distances from each point to
+	// its assigned centroid (the k-means objective value).
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Options configure KMeans.
+type Options struct {
+	// MaxIterations bounds the Lloyd loop; 0 means the default of 100.
+	MaxIterations int
+	// Tolerance stops iteration when the relative inertia improvement drops
+	// below it; 0 means the default of 1e-6.
+	Tolerance float64
+	// Rand supplies the randomness for k-means++ seeding. Nil means a fixed
+	// deterministic source (seed 1).
+	Rand *rand.Rand
+}
+
+// Errors returned by KMeans.
+var (
+	ErrNoPoints   = errors.New("cluster: no input points")
+	ErrBadK       = errors.New("cluster: k must be >= 1")
+	ErrKTooLarge  = errors.New("cluster: k exceeds number of points")
+	ErrNotFinites = errors.New("cluster: input contains non-finite coordinates")
+)
+
+// KMeans clusters pts into k groups using k-means++ seeding followed by
+// Lloyd iterations. The run is deterministic for a given Options.Rand.
+func KMeans(pts []geo.Point, k int, opt Options) (*Result, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoPoints
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if k > len(pts) {
+		return nil, ErrKTooLarge
+	}
+	for _, p := range pts {
+		if !p.IsFinite() {
+			return nil, ErrNotFinites
+		}
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := opt.Tolerance
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	centroids := seedPlusPlus(pts, k, rng)
+	assign := make([]int, len(pts))
+	prevInertia := math.Inf(1)
+	iters := 0
+	var inertia float64
+	for iters = 1; iters <= maxIter; iters++ {
+		inertia = assignAll(pts, centroids, assign)
+		recompute(pts, assign, centroids, rng)
+		if prevInertia-inertia <= tol*math.Max(prevInertia, 1) {
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment against the last centroid update.
+	inertia = assignAll(pts, centroids, assign)
+	return &Result{
+		Centroids:  centroids,
+		Assign:     assign,
+		Inertia:    inertia,
+		Iterations: iters,
+	}, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D^2 weighting.
+func seedPlusPlus(pts []geo.Point, k int, rng *rand.Rand) []geo.Point {
+	centroids := make([]geo.Point, 0, k)
+	centroids = append(centroids, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centers; duplicate
+			// an arbitrary point to keep len(centroids) == k.
+			centroids = append(centroids, pts[rng.Intn(len(pts))])
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, w := range d2 {
+			target -= w
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, pts[idx])
+	}
+	return centroids
+}
+
+// assignAll assigns each point to its nearest centroid, filling assign, and
+// returns the total inertia.
+func assignAll(pts []geo.Point, centroids []geo.Point, assign []int) float64 {
+	var inertia float64
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for j, c := range centroids {
+			if d := sqDist(p, c); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		assign[i] = best
+		inertia += bestD
+	}
+	return inertia
+}
+
+// recompute moves each centroid to the mean of its assigned points. Empty
+// clusters are re-seeded on a random input point so k is preserved.
+func recompute(pts []geo.Point, assign []int, centroids []geo.Point, rng *rand.Rand) {
+	sums := make([]geo.Point, len(centroids))
+	counts := make([]int, len(centroids))
+	for i, p := range pts {
+		c := assign[i]
+		sums[c] = sums[c].Add(p)
+		counts[c]++
+	}
+	for j := range centroids {
+		if counts[j] == 0 {
+			centroids[j] = pts[rng.Intn(len(pts))]
+			continue
+		}
+		centroids[j] = sums[j].Scale(1 / float64(counts[j]))
+	}
+}
+
+func sqDist(a, b geo.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairtask/internal/geo"
+)
+
+func TestKMeansErrors(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)}
+	if _, err := KMeans(nil, 1, Options{}); err != ErrNoPoints {
+		t.Errorf("empty input: err = %v, want ErrNoPoints", err)
+	}
+	if _, err := KMeans(pts, 0, Options{}); err != ErrBadK {
+		t.Errorf("k=0: err = %v, want ErrBadK", err)
+	}
+	if _, err := KMeans(pts, 3, Options{}); err != ErrKTooLarge {
+		t.Errorf("k>n: err = %v, want ErrKTooLarge", err)
+	}
+	if _, err := KMeans([]geo.Point{geo.Pt(math.NaN(), 0)}, 1, Options{}); err != ErrNotFinites {
+		t.Errorf("NaN input: err = %v, want ErrNotFinites", err)
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(2, 0), geo.Pt(1, 3)}
+	res, err := KMeans(pts, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := geo.Centroid(pts)
+	got := res.Centroids[0]
+	if math.Abs(got.X-want.X) > 1e-9 || math.Abs(got.Y-want.Y) > 1e-9 {
+		t.Errorf("k=1 centroid = %v, want %v", got, want)
+	}
+	for i, a := range res.Assign {
+		if a != 0 {
+			t.Errorf("point %d assigned to %d, want 0", i, a)
+		}
+	}
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []geo.Point
+	blobs := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(50, 100)}
+	for _, b := range blobs {
+		for i := 0; i < 40; i++ {
+			pts = append(pts, geo.Point{
+				X: b.X + rng.NormFloat64(),
+				Y: b.Y + rng.NormFloat64(),
+			})
+		}
+	}
+	res, err := KMeans(pts, 3, Options{Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each found centroid should be within 5 units of a true blob center,
+	// and each blob should be matched by some centroid.
+	matched := make([]bool, len(blobs))
+	for _, c := range res.Centroids {
+		found := false
+		for i, b := range blobs {
+			if math.Hypot(c.X-b.X, c.Y-b.Y) < 5 {
+				matched[i] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("centroid %v matches no blob", c)
+		}
+	}
+	for i, m := range matched {
+		if !m {
+			t.Errorf("blob %d unmatched", i)
+		}
+	}
+}
+
+// Invariant: every point is assigned to its nearest centroid.
+func TestKMeansNearestAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geo.Point, 200)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	res, err := KMeans(pts, 8, Options{Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		got := res.Assign[i]
+		gotD := sqDist(p, res.Centroids[got])
+		for j, c := range res.Centroids {
+			if d := sqDist(p, c); d < gotD-1e-9 {
+				t.Fatalf("point %d assigned to %d (d2=%g) but %d is closer (d2=%g)",
+					i, got, gotD, j, d)
+			}
+		}
+	}
+}
+
+// Invariant: inertia equals the recomputed sum of squared distances.
+func TestKMeansInertiaConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	res, err := KMeans(pts, 4, Options{Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, p := range pts {
+		sum += sqDist(p, res.Centroids[res.Assign[i]])
+	}
+	if math.Abs(sum-res.Inertia) > 1e-6 {
+		t.Errorf("inertia = %g, recomputed = %g", res.Inertia, sum)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geo.Point, 60)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64(), rng.Float64())
+	}
+	a, err := KMeans(pts, 5, Options{Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 5, Options{Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Errorf("same seed produced different inertia: %g vs %g", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different assignment at %d", i)
+		}
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	pts := make([]geo.Point, 10)
+	for i := range pts {
+		pts[i] = geo.Pt(1, 1)
+	}
+	res, err := KMeans(pts, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points should yield zero inertia, got %g", res.Inertia)
+	}
+}
+
+// Property: k-means with k == len(pts) on distinct points reaches zero
+// inertia (each point becomes its own cluster), and assignments stay in range.
+func TestKMeansProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geo.Point, count)
+		seen := map[geo.Point]bool{}
+		for i := range pts {
+			for {
+				p := geo.Pt(float64(rng.Intn(1000)), float64(rng.Intn(1000)))
+				if !seen[p] {
+					seen[p] = true
+					pts[i] = p
+					break
+				}
+			}
+		}
+		k := rng.Intn(count) + 1
+		res, err := KMeans(pts, k, Options{Rand: rng})
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return res.Inertia >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansOptionKnobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pts := make([]geo.Point, 80)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	// A single Lloyd iteration must not beat a fully converged run.
+	one, err := KMeans(pts, 5, Options{MaxIterations: 1, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := KMeans(pts, 5, Options{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Inertia > one.Inertia+1e-9 {
+		t.Errorf("converged inertia %g above single-iteration %g", full.Inertia, one.Inertia)
+	}
+	if one.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", one.Iterations)
+	}
+	// A huge tolerance stops immediately after the first measurement.
+	loose, err := KMeans(pts, 5, Options{Tolerance: 1e9, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Iterations > 2 {
+		t.Errorf("loose tolerance ran %d iterations", loose.Iterations)
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairtask/internal/model"
+)
+
+func arrivalsProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	p, err := GenerateSYN(SYNConfig{
+		Seed: 1, Centers: 2, Tasks: 10, Workers: 4, DeliveryPoints: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoissonArrivalsAddTasks(t *testing.T) {
+	p := arrivalsProblem(t)
+	before := p.TaskCount()
+	src := NewPoissonArrivals(ArrivalConfig{Seed: 2, RatePerPoint: 3, Lifetime: 1.5})
+	src(0, 4.0, p)
+	added := p.TaskCount() - before
+	if added == 0 {
+		t.Fatal("no tasks arrived at rate 3 over 20 points")
+	}
+	// Expected about 3 * 20 = 60; allow wide slack.
+	if added < 20 || added > 120 {
+		t.Errorf("arrivals = %d, expected around 60", added)
+	}
+	// All new tasks expire at now + lifetime.
+	seen := map[int]bool{}
+	for i := range p.Instances {
+		for _, dp := range p.Instances[i].Points {
+			for _, task := range dp.Tasks {
+				if task.ID < 1<<20 {
+					continue // pre-existing
+				}
+				if seen[task.ID] {
+					t.Fatalf("duplicate arrival ID %d", task.ID)
+				}
+				seen[task.ID] = true
+				if math.Abs(task.Expiry-5.5) > 1e-9 {
+					t.Errorf("arrival expiry = %g, want 5.5", task.Expiry)
+				}
+				if task.Reward != 1 {
+					t.Errorf("arrival reward = %g", task.Reward)
+				}
+			}
+		}
+	}
+	if len(seen) != added {
+		t.Errorf("unique arrivals %d != added %d", len(seen), added)
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := arrivalsProblem(t)
+	b := arrivalsProblem(t)
+	NewPoissonArrivals(ArrivalConfig{Seed: 7})(0, 0, a)
+	NewPoissonArrivals(ArrivalConfig{Seed: 7})(0, 0, b)
+	if a.TaskCount() != b.TaskCount() {
+		t.Error("same seed produced different arrival counts")
+	}
+}
+
+func TestPoissonSamplerMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const lambda = 2.5
+	const n = 20000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.1 {
+		t.Errorf("poisson mean = %g, want about %g", mean, lambda)
+	}
+}
+
+func TestPoissonArrivalsTaskPointIndices(t *testing.T) {
+	p := arrivalsProblem(t)
+	NewPoissonArrivals(ArrivalConfig{Seed: 3, RatePerPoint: 2})(0, 1, p)
+	// Instance validation checks Task.Point consistency; expiries are
+	// absolute here (now+lifetime > 0) so validation still passes.
+	if err := p.Validate(); err != nil {
+		t.Errorf("problem invalid after arrivals: %v", err)
+	}
+}
+
+func TestRushHourProfile(t *testing.T) {
+	peak := RushHourProfile(8)
+	trough := RushHourProfile(2)
+	if peak <= trough {
+		t.Errorf("peak %g not above trough %g", peak, trough)
+	}
+	if RushHourProfile(18) <= trough {
+		t.Error("evening peak not above trough")
+	}
+	// Positive at every hour, periodic over days.
+	for h := 0.0; h < 48; h += 0.5 {
+		if RushHourProfile(h) <= 0 {
+			t.Fatalf("profile non-positive at %g", h)
+		}
+	}
+	if math.Abs(RushHourProfile(3)-RushHourProfile(27)) > 1e-12 {
+		t.Error("profile not 24h-periodic")
+	}
+}
+
+func TestPoissonArrivalsWithProfile(t *testing.T) {
+	mk := func() *model.Problem {
+		p, err := GenerateSYN(SYNConfig{
+			Seed: 1, Centers: 1, Tasks: 5, Workers: 2, DeliveryPoints: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	count := func(now float64) int {
+		p := mk()
+		before := p.TaskCount()
+		src := NewPoissonArrivals(ArrivalConfig{
+			Seed: 5, RatePerPoint: 2, RateProfile: RushHourProfile,
+		})
+		src(0, now, p)
+		return p.TaskCount() - before
+	}
+	atPeak := count(8)
+	atNight := count(2)
+	if atPeak <= atNight {
+		t.Errorf("peak arrivals %d not above overnight %d", atPeak, atNight)
+	}
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that anything it
+// accepts round-trips through WriteCSV and back to an equivalent problem.
+func FuzzReadCSV(f *testing.F) {
+	// Seed corpus: a real generated problem plus malformed fragments.
+	p, err := GenerateSYN(SYNConfig{Seed: 1, Centers: 2, Tasks: 12, Workers: 4, DeliveryPoints: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("meta,5,,,,euclidean,\n")
+	f.Add("center,0,,0,0,,\npoint,0,0,1,2,,\ntask,0,0,0,,1,1\n")
+	f.Add("garbage")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		prob, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, prob); err != nil {
+			t.Fatalf("accepted problem failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted problem failed: %v", err)
+		}
+		if again.TaskCount() != prob.TaskCount() || again.WorkerCount() != prob.WorkerCount() {
+			t.Fatal("round trip changed the problem")
+		}
+	})
+}
+
+// FuzzLoadGMission checks the raw gMission loader never panics and every
+// accepted input yields a valid instance.
+func FuzzLoadGMission(f *testing.F) {
+	tasks, workers := fixtureGMission(10, 3)
+	f.Add(tasks, workers)
+	f.Add("", "")
+	f.Add("0,1,1,1,1\n", "0,0,0,1\n")
+	f.Add("x,y,z\n", "1,2\n")
+
+	f.Fuzz(func(t *testing.T, taskCSV, workerCSV string) {
+		in, err := LoadGMission(strings.NewReader(taskCSV), strings.NewReader(workerCSV),
+			GMissionOptions{DeliveryPoints: 4})
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted instance fails validation: %v", err)
+		}
+	})
+}

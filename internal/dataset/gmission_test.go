@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fixtureGMission builds raw CSV content mimicking an exported gMission
+// dump: clustered tasks plus a handful of workers.
+func fixtureGMission(nTasks, nWorkers int) (tasks, workers string) {
+	rng := rand.New(rand.NewSource(3))
+	var tb, wb strings.Builder
+	for i := 0; i < nTasks; i++ {
+		cx, cy := float64(rng.Intn(3)), float64(rng.Intn(3))
+		fmt.Fprintf(&tb, "%d,%g,%g,%g,%g\n",
+			i, cx+rng.Float64()*0.3, cy+rng.Float64()*0.3,
+			0.5+rng.Float64()*2, 1.0)
+	}
+	for w := 0; w < nWorkers; w++ {
+		fmt.Fprintf(&wb, "%d,%g,%g,%d\n", w, rng.Float64()*3, rng.Float64()*3, 3)
+	}
+	return tb.String(), wb.String()
+}
+
+func TestLoadGMission(t *testing.T) {
+	tasks, workers := fixtureGMission(120, 10)
+	in, err := LoadGMission(strings.NewReader(tasks), strings.NewReader(workers),
+		GMissionOptions{DeliveryPoints: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("loaded instance invalid: %v", err)
+	}
+	if in.TaskCount() != 120 {
+		t.Errorf("tasks = %d, want 120", in.TaskCount())
+	}
+	if len(in.Workers) != 10 {
+		t.Errorf("workers = %d, want 10", len(in.Workers))
+	}
+	if len(in.Points) == 0 || len(in.Points) > 15 {
+		t.Errorf("points = %d", len(in.Points))
+	}
+	// The center must be the centroid of task locations: inside the data
+	// bounding box (tasks live in [0, 3.3]^2).
+	if in.Center.X < 0 || in.Center.X > 3.3 || in.Center.Y < 0 || in.Center.Y > 3.3 {
+		t.Errorf("center %v outside data region", in.Center)
+	}
+}
+
+func TestLoadGMissionClusterCap(t *testing.T) {
+	tasks, workers := fixtureGMission(8, 2)
+	in, err := LoadGMission(strings.NewReader(tasks), strings.NewReader(workers),
+		GMissionOptions{DeliveryPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Points) > 8 {
+		t.Errorf("points = %d, want <= task count", len(in.Points))
+	}
+}
+
+func TestLoadGMissionRejectsGarbage(t *testing.T) {
+	good, workers := fixtureGMission(5, 2)
+	cases := []struct {
+		name           string
+		tasks, workers string
+	}{
+		{"empty tasks", "", workers},
+		{"bad task id", "x,1,1,1,1\n", workers},
+		{"bad task coord", "1,zz,1,1,1\n", workers},
+		{"short task row", "1,2,3\n", workers},
+		{"bad worker id", good, "x,1,1,3\n"},
+		{"bad worker maxdp", good, "1,1,1,zz\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadGMission(strings.NewReader(c.tasks), strings.NewReader(c.workers),
+			GMissionOptions{}); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadGMissionSolvesEndToEnd(t *testing.T) {
+	tasks, workers := fixtureGMission(80, 6)
+	in, err := LoadGMission(strings.NewReader(tasks), strings.NewReader(workers),
+		GMissionOptions{DeliveryPoints: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded data must be directly solvable: exercised via the exported
+	// dataset -> vdps pipeline at the integration level (root tests); here
+	// we just confirm the instance is structurally complete.
+	if in.TotalReward() != 80 {
+		t.Errorf("total reward = %g, want 80 (unit rewards)", in.TotalReward())
+	}
+}

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fairtask/internal/model"
+	"fairtask/internal/payoff"
+)
+
+// WriteAssignmentCSV writes the routes of a per-center assignment set as a
+// flat CSV for downstream tooling (dispatch systems, dashboards). One row
+// per visited delivery point:
+//
+//	center,worker,stop,point,arrival,reward,payoff
+//
+// where stop is the 0-based position in the worker's route, arrival the
+// worker's arrival time at the point in hours, reward the point's total
+// task reward, and payoff the worker's overall payoff (repeated per row).
+// assignments must be indexed like problem.Instances.
+func WriteAssignmentCSV(w io.Writer, p *model.Problem, assignments []*model.Assignment) error {
+	if len(assignments) != len(p.Instances) {
+		return fmt.Errorf("dataset: %d assignments for %d instances",
+			len(assignments), len(p.Instances))
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"center", "worker", "stop", "point", "arrival", "reward", "payoff"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range p.Instances {
+		in := &p.Instances[i]
+		a := assignments[i]
+		if a == nil {
+			continue
+		}
+		if err := a.Validate(in); err != nil {
+			return fmt.Errorf("dataset: center %d: %w", in.CenterID, err)
+		}
+		for wi, route := range a.Routes {
+			if len(route) == 0 {
+				continue
+			}
+			arr := in.RouteArrivals(wi, route)
+			pf := payoff.Worker(in, wi, route)
+			for stop, pt := range route {
+				rec := []string{
+					strconv.Itoa(in.CenterID),
+					strconv.Itoa(in.Workers[wi].ID),
+					strconv.Itoa(stop),
+					strconv.Itoa(in.Points[pt].ID),
+					f(arr[stop]),
+					f(in.Points[pt].TotalReward()),
+					f(pf),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,245 @@
+// Package evo implements the Improved Evolutionary Game-Theoretic (IEGT)
+// task assignment of paper §VI (Algorithm 3).
+//
+// The worker population of a distribution center repeatedly plays the
+// assignment game. Each round, the replicator-dynamics signal
+//
+//	sigma_dot_km(t) = sigma_km(t) * (U_km(t) - Ubar_k(t))     (Equation 11)
+//
+// is evaluated per worker: a worker whose payoff falls below the population's
+// average (sigma_dot < 0) is under selection pressure and switches — if
+// possible — to a randomly chosen available strategy with a strictly higher
+// payoff ("evolve or be eliminated"). The process stops at an improved
+// evolutionary equilibrium: either all payoffs are (numerically) equal
+// (sigma_dot = 0) or no worker changed strategy in a round.
+package evo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairtask/internal/game"
+	"fairtask/internal/model"
+	"fairtask/internal/vdps"
+)
+
+// Options configure an IEGT run.
+type Options struct {
+	// MaxIterations caps evolution rounds. Zero means the default of 500.
+	MaxIterations int
+	// Seed drives the random initialization and random strategy selection.
+	Seed int64
+	// Tolerance is the payoff-equality tolerance for declaring
+	// sigma_dot = 0. Zero means the default of 1e-9.
+	Tolerance float64
+	// Trace enables per-iteration statistics collection (Figure 12).
+	Trace bool
+	// MutationRate is the probability that a below-average worker explores
+	// a uniformly random available strategy instead of a strictly better
+	// one — the classic mutation operator of evolutionary games. Zero (the
+	// paper's Algorithm 3) disables exploration. With mutation enabled, a
+	// round with mutations never counts as converged.
+	MutationRate float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 500
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// IEGT runs the Improved Evolutionary Game-Theoretic approach (Algorithm 3)
+// on the population of the generator's instance and returns the resulting
+// assignment. The utility of a worker in the evolutionary game is its raw
+// payoff (paper §VI-B), not the IAU.
+func IEGT(g *vdps.Generator, opt Options) (*game.Result, error) {
+	opt = opt.withDefaults()
+	s := game.NewState(g)
+	if len(s.Current) == 0 {
+		return nil, game.ErrNoWorkers
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	s.RandomInit(rng)
+
+	res := &game.Result{}
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		ubar := populationAverage(s)
+		changes := 0
+		for w := range s.Current {
+			// sigma_km > 0 for every present strategy, so the sign of
+			// sigma_dot is the sign of (U - Ubar): below-average workers
+			// are under negative selection pressure.
+			if s.Payoffs[w] >= ubar {
+				continue
+			}
+			if opt.MutationRate > 0 && rng.Float64() < opt.MutationRate {
+				if si, ok := randomAvailableStrategy(s, w, rng); ok {
+					s.Switch(w, si)
+					changes++
+					continue
+				}
+			}
+			if si, ok := randomBetterStrategy(s, w, rng); ok {
+				s.Switch(w, si)
+				changes++
+			}
+		}
+		res.Iterations = iter
+		if opt.Trace {
+			sum := s.Summary()
+			res.Trace = append(res.Trace, game.IterationStat{
+				Iteration:  iter,
+				Changes:    changes,
+				PayoffDiff: sum.Difference,
+				AvgPayoff:  sum.Average,
+			})
+		}
+		if changes == 0 || payoffsEqual(s.Payoffs, opt.Tolerance) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assignment = s.Assignment()
+	res.Summary = s.Summary()
+	return res, nil
+}
+
+// populationAverage is Ubar_k (Equation 14). Every worker holds exactly one
+// strategy, so each population share sigma_km is 1/|G_k| and the
+// share-weighted average reduces to the mean payoff over workers that can
+// play at all (workers with empty strategy spaces are not part of the
+// evolving population).
+func populationAverage(s *game.State) float64 {
+	var sum float64
+	var n int
+	for w := range s.Current {
+		if len(s.Strategies[w]) == 0 {
+			continue
+		}
+		sum += s.Payoffs[w]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// randomBetterStrategy picks uniformly at random among worker w's available
+// strategies with payoff strictly above the current one (Algorithm 3,
+// lines 23-25).
+func randomBetterStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
+	cur := 0.0
+	if s.Current[w] != game.Null {
+		cur = s.Payoffs[w]
+	}
+	var better []int
+	for si := range s.Strategies[w] {
+		if si == s.Current[w] {
+			continue
+		}
+		if s.Strategies[w][si].Payoff > cur && s.Available(w, si) {
+			better = append(better, si)
+		}
+	}
+	if len(better) == 0 {
+		return game.Null, false
+	}
+	return better[rng.Intn(len(better))], true
+}
+
+// randomAvailableStrategy picks uniformly among all of worker w's available
+// strategies other than the current one (the mutation operator).
+func randomAvailableStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
+	var avail []int
+	for si := range s.Strategies[w] {
+		if si != s.Current[w] && s.Available(w, si) {
+			avail = append(avail, si)
+		}
+	}
+	if len(avail) == 0 {
+		return game.Null, false
+	}
+	return avail[rng.Intn(len(avail))], true
+}
+
+// payoffsEqual reports whether all payoffs lie within tol of each other.
+func payoffsEqual(p []float64, tol float64) bool {
+	if len(p) < 2 {
+		return true
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range p {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max-min <= tol
+}
+
+// Replicator computes the replicator-dynamics value sigma_dot for a
+// hypothetical worker utility u in a population with share sigma and average
+// utility ubar (Equation 11). Exposed for tests and for the convergence
+// experiment, which plots the selection pressure over iterations.
+func Replicator(sigma, u, ubar float64) float64 {
+	return sigma * (u - ubar)
+}
+
+// PopulationShares returns sigma_km per strategy identity: since each worker
+// holds a distinct VDPS, shares are 1/n for each of the n playing workers
+// (Equations 12-13). Exposed for the convergence experiment.
+func PopulationShares(s *game.State) []float64 {
+	var n int
+	for w := range s.Current {
+		if s.Current[w] != game.Null {
+			n++
+		}
+	}
+	out := make([]float64, len(s.Current))
+	if n == 0 {
+		return out
+	}
+	for w := range s.Current {
+		if s.Current[w] != game.Null {
+			out[w] = 1 / float64(n)
+		}
+	}
+	return out
+}
+
+// VerifyEquilibrium checks the improved evolutionary stable state of
+// Algorithm 3 for an existing assignment: no worker with payoff below the
+// population average has an available strategy with strictly higher payoff.
+// It returns nil for a stable assignment and a descriptive error otherwise.
+func VerifyEquilibrium(g *vdps.Generator, a *model.Assignment) error {
+	s := game.NewState(g)
+	if err := s.LoadAssignment(a); err != nil {
+		return err
+	}
+	ubar := populationAverage(s)
+	for w := range s.Current {
+		if s.Payoffs[w] >= ubar || len(s.Strategies[w]) == 0 {
+			continue
+		}
+		cur := s.Payoffs[w]
+		for si := range s.Strategies[w] {
+			if si == s.Current[w] {
+				continue
+			}
+			if s.Strategies[w][si].Payoff > cur && s.Available(w, si) {
+				return fmt.Errorf(
+					"evo: worker %d (payoff %g, below average %g) can still improve via %v",
+					w, cur, ubar, s.Strategies[w][si].Seq)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,497 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig shrinks the workloads far enough for unit tests.
+func tinyConfig() Config {
+	return Config{Seed: 1, SYNScale: 100, GMScale: 4, MPTANodeBudget: 20_000}
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"ablation-decomposition", "ablation-earlyterm", "ablation-index",
+		"ablation-mutation", "ablation-order",
+		"fig10", "fig11", "fig12", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "hetero", "online", "optgap",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registered figures = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered figures = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("fig99", Config{}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Config{SYNScale: 10}
+	if c.scaled(100) != 10 || c.scaled(5) != 1 {
+		t.Error("scaled arithmetic wrong")
+	}
+}
+
+// TestFig10ShapeAndMetrics runs the expiry sweep at tiny scale and checks
+// the series structure plus the paper's qualitative claims: average payoff
+// is non-decreasing-ish in e (more reachable points), and every algorithm is
+// measured at every x.
+func TestFig10ShapeAndMetrics(t *testing.T) {
+	s, err := Run("fig10", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.xValues()
+	if len(xs) != 5 {
+		t.Fatalf("x values = %v", xs)
+	}
+	algs := s.algorithmsInOrder()
+	if len(algs) != 4 {
+		t.Fatalf("algorithms = %v", algs)
+	}
+	for _, x := range xs {
+		for _, a := range algs {
+			p, ok := s.Lookup(x, a)
+			if !ok {
+				t.Fatalf("missing point (%g, %s)", x, a)
+			}
+			if p.PayoffDiff < 0 || p.AvgPayoff < 0 || p.CPUSeconds < 0 {
+				t.Errorf("negative metric at (%g, %s): %+v", x, a, p)
+			}
+		}
+	}
+	// Average payoff at the loosest deadline must be at least the tightest's
+	// for the payoff-maximizing baseline (more feasible strategies).
+	lo, _ := s.Lookup(xs[0], "MPTA")
+	hi, _ := s.Lookup(xs[len(xs)-1], "MPTA")
+	if hi.AvgPayoff < lo.AvgPayoff-1e-9 {
+		t.Errorf("MPTA average payoff fell when deadlines relaxed: %g -> %g",
+			lo.AvgPayoff, hi.AvgPayoff)
+	}
+}
+
+// TestFig2IncludesUnprunedVariants checks the epsilon sweep carries the
+// paper's "-W" reference series.
+func TestFig2IncludesUnprunedVariants(t *testing.T) {
+	cfg := tinyConfig()
+	s, err := Run("fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := s.algorithmsInOrder()
+	if len(algs) != 8 {
+		t.Fatalf("algorithms = %v, want 4 + 4 -W variants", algs)
+	}
+	withW := 0
+	for _, a := range algs {
+		if strings.HasSuffix(a, "-W") {
+			withW++
+		}
+	}
+	if withW != 4 {
+		t.Errorf("unpruned variants = %d, want 4", withW)
+	}
+	// The -W series is flat: identical result replicated across x.
+	xs := s.xValues()
+	first, _ := s.Lookup(xs[0], "GTA-W")
+	last, _ := s.Lookup(xs[len(xs)-1], "GTA-W")
+	if first.PayoffDiff != last.PayoffDiff || first.AvgPayoff != last.AvgPayoff {
+		t.Error("-W variant should be constant across epsilon")
+	}
+}
+
+func TestFig12ConvergenceSeries(t *testing.T) {
+	s, err := Run("fig12", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := s.algorithmsInOrder()
+	if len(algs) != 2 || algs[0] != "FGT" || algs[1] != "IEGT" {
+		t.Fatalf("algorithms = %v", algs)
+	}
+	// Each trace ends with zero strategy changes (converged).
+	for _, a := range algs {
+		var lastChanges = -1
+		var lastX float64
+		for _, p := range s.Points {
+			if p.Algorithm == a && p.X > lastX {
+				lastX = p.X
+				lastChanges = p.Iterations
+			}
+		}
+		if lastChanges != 0 {
+			t.Errorf("%s: final round had %d changes, want 0", a, lastChanges)
+		}
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	s, err := Run("fig11", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fig11", "payoff difference", "average payoff", "CPU time",
+		"MPTA", "GTA", "FGT", "IEGT", "maxDP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}
+
+// TestGMSweepFairnessShape verifies the headline comparison on the GM task
+// sweep at reduced size: IEGT's payoff difference stays below MPTA's at the
+// default point.
+func TestGMSweepFairnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	cfg := tinyConfig()
+	s, err := Run("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 50.0 // default |S| at GMScale 4
+	mpta, ok1 := s.Lookup(x, "MPTA")
+	iegt, ok2 := s.Lookup(x, "IEGT")
+	if !ok1 || !ok2 {
+		t.Fatal("default point missing")
+	}
+	if iegt.PayoffDiff >= mpta.PayoffDiff {
+		t.Errorf("IEGT P_dif %.4f should be below MPTA's %.4f",
+			iegt.PayoffDiff, mpta.PayoffDiff)
+	}
+}
+
+func TestAblationRunnersRegistered(t *testing.T) {
+	for _, name := range []string{
+		"ablation-index", "ablation-decomposition", "ablation-earlyterm",
+		"ablation-order", "ablation-mutation",
+	} {
+		found := false
+		for _, n := range Names() {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s not registered", name)
+		}
+	}
+}
+
+func TestAblationIndexEquivalence(t *testing.T) {
+	s, err := Run("ablation-index", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate counts (stored in AvgPayoff) must match between variants at
+	// every x: the index is an optimization, never a semantic change.
+	for _, x := range s.xValues() {
+		idx, ok1 := s.Lookup(x, "indexed")
+		scan, ok2 := s.Lookup(x, "scan")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing variant at x=%g", x)
+		}
+		if idx.AvgPayoff != scan.AvgPayoff {
+			t.Errorf("x=%g: candidate counts differ: %g vs %g", x, idx.AvgPayoff, scan.AvgPayoff)
+		}
+	}
+}
+
+func TestAblationEarlyTermFewerOrEqualIterations(t *testing.T) {
+	s, err := Run("ablation-earlyterm", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Points
+	if len(pts) < 2 {
+		t.Fatal("too few points")
+	}
+	exact := pts[0]
+	loosest := pts[len(pts)-1]
+	if loosest.Iterations > exact.Iterations {
+		t.Errorf("loose threshold used more iterations (%d) than exact (%d)",
+			loosest.Iterations, exact.Iterations)
+	}
+}
+
+func TestAblationMutationRuns(t *testing.T) {
+	s, err := Run("ablation-mutation", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+}
+
+func TestAblationDecompositionAndOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, name := range []string{"ablation-decomposition", "ablation-order"} {
+		s, err := Run(name, tinyConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("%s produced no points", name)
+		}
+	}
+}
+
+func TestTableIConsistency(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 10 {
+		t.Fatalf("Table I rows = %d, want 10", len(rows))
+	}
+	for _, p := range rows {
+		if p.Dataset != "GM" && p.Dataset != "SYN" {
+			t.Errorf("%s: bad dataset %q", p.Name, p.Dataset)
+		}
+		found := false
+		for _, v := range p.Values {
+			if v == p.Default {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s (%s): default %g not among values %v",
+				p.Name, p.Dataset, p.Default, p.Values)
+		}
+		for i := 1; i < len(p.Values); i++ {
+			if p.Values[i] <= p.Values[i-1] {
+				t.Errorf("%s (%s): values not strictly increasing", p.Name, p.Dataset)
+			}
+		}
+	}
+	// The defaults encoded in the workload configs must match Table I.
+	cfg := Config{}.withDefaults()
+	cfg.SYNScale = 1
+	cfg.GMScale = 1
+	syn := cfg.synConfig().WithDefaults()
+	if syn.Tasks != 100000 || syn.Workers != 2000 || syn.DeliveryPoints != 5000 ||
+		syn.Expiry != 2 || syn.MaxDP != 3 {
+		t.Errorf("SYN defaults diverge from Table I: %+v", syn)
+	}
+	gm := cfg.gmConfig().WithDefaults()
+	if gm.Tasks != 200 || gm.Workers != 40 || gm.DeliveryPoints != 100 {
+		t.Errorf("GM defaults diverge from Table I: %+v", gm)
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"epsilon", "maxDP", "2*", "0.6*", "100000*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptGap(t *testing.T) {
+	s, err := Run("optgap", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every seed, EXACT's score (stored in AvgPayoff) dominates all
+	// heuristics.
+	for _, x := range s.xValues() {
+		exact, ok := s.Lookup(x, "EXACT")
+		if !ok {
+			t.Fatalf("EXACT missing at seed %g", x)
+		}
+		for _, a := range s.algorithmsInOrder() {
+			if a == "EXACT" {
+				continue
+			}
+			p, ok := s.Lookup(x, a)
+			if !ok {
+				t.Fatalf("%s missing at seed %g", a, x)
+			}
+			if p.AvgPayoff > exact.AvgPayoff+1e-9 {
+				t.Errorf("seed %g: %s score %g beats EXACT %g", x, a, p.AvgPayoff, exact.AvgPayoff)
+			}
+		}
+	}
+}
+
+func TestRunRepeated(t *testing.T) {
+	agg, err := RunRepeated("fig11", tinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Points) == 0 {
+		t.Fatal("no aggregated points")
+	}
+	for _, p := range agg.Points {
+		if p.Runs != 3 {
+			t.Errorf("(%g, %s): runs = %d, want 3", p.X, p.Algorithm, p.Runs)
+		}
+		if p.StdPayoffDiff < 0 || p.MeanCPU < 0 {
+			t.Errorf("negative aggregate at (%g, %s)", p.X, p.Algorithm)
+		}
+	}
+	var buf bytes.Buffer
+	if err := agg.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") || !strings.Contains(buf.String(), "mean of 3 runs") {
+		t.Errorf("aggregate table malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunRepeatedUnknownFigure(t *testing.T) {
+	if _, err := RunRepeated("fig99", tinyConfig(), 2); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunRepeatedClampsReps(t *testing.T) {
+	agg, err := RunRepeated("fig12", tinyConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range agg.Points {
+		if p.Runs != 1 {
+			t.Errorf("runs = %d, want 1", p.Runs)
+		}
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s, err := Run("fig12", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "figure,x,algorithm,payoff_diff") {
+		t.Errorf("CSV header wrong:\n%.120s", out)
+	}
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != len(s.Points) {
+		t.Errorf("CSV rows = %d, want %d", lines, len(s.Points))
+	}
+}
+
+// TestEveryFigureRuns smoke-tests every registered runner at ultra-tiny
+// scale: correct structure, no errors.
+func TestEveryFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := Config{Seed: 1, SYNScale: 400, GMScale: 8, MPTANodeBudget: 5_000}
+	for _, name := range Names() {
+		s, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("%s produced no points", name)
+		}
+		if s.Figure != name {
+			t.Errorf("%s: series labeled %q", name, s.Figure)
+		}
+		for _, p := range s.Points {
+			if p.CPUSeconds < 0 || p.PayoffDiff < 0 {
+				t.Errorf("%s: negative metric %+v", name, p)
+			}
+		}
+	}
+}
+
+func TestHeteroFleet(t *testing.T) {
+	s, err := Run("hetero", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.xValues()
+	if len(xs) != 4 || xs[0] != 1 {
+		t.Fatalf("x values = %v", xs)
+	}
+	// Fairness under the greedy baseline should be no better with a very
+	// unequal fleet than with a homogeneous one.
+	homog, ok1 := s.Lookup(1, "GTA")
+	spread, ok2 := s.Lookup(3, "GTA")
+	if !ok1 || !ok2 {
+		t.Fatal("GTA points missing")
+	}
+	if spread.PayoffDiff < homog.PayoffDiff*0.5 {
+		t.Errorf("heterogeneity unexpectedly improved GTA fairness strongly: %g -> %g",
+			homog.PayoffDiff, spread.PayoffDiff)
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTableIGolden pins the exact rendered Table I against a golden file
+// (regenerate with -update after deliberate changes).
+func TestTableIGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "table1.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("Table I output changed; run with -update if intended.\ngot:\n%s\nwant:\n%s",
+			buf.String(), want)
+	}
+}
+
+func TestOnlineExperiment(t *testing.T) {
+	s, err := Run("online", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Points); got != 8 {
+		t.Fatalf("points = %d, want 8 (4 fleet sizes x 2 policies)", got)
+	}
+	// Fair-first spread <= greedy spread at every fleet size.
+	for _, x := range s.xValues() {
+		g, ok1 := s.Lookup(x, "greedy")
+		f, ok2 := s.Lookup(x, "fair-first")
+		if !ok1 || !ok2 {
+			t.Fatalf("policies missing at |W|=%g", x)
+		}
+		if f.PayoffDiff > g.PayoffDiff+1e-9 {
+			t.Errorf("|W|=%g: fair-first spread %g above greedy %g",
+				x, f.PayoffDiff, g.PayoffDiff)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/online"
+	"fairtask/internal/travel"
+)
+
+func init() {
+	registry["online"] = onlineMatching
+}
+
+// onlineMatching compares the greedy and fair-first policies of the online
+// single-task assignment mode (paper §III) across worker counts: a fixed
+// reproducible task stream is replayed against fleets of growing size. The
+// series reports each policy's earnings-rate spread (in PayoffDiff), mean
+// rate (AvgPayoff) and assignment count (Iterations).
+func onlineMatching(cfg Config) (*Series, error) {
+	s := &Series{
+		Figure: "online",
+		Title:  "Online single-task matching: greedy vs fair-first",
+		XLabel: "|W|",
+	}
+	tm, err := travel.NewModel(geo.Euclidean{}, 12)
+	if err != nil {
+		return nil, err
+	}
+
+	const space = 6.0
+	mkStream := func() []online.Task {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		tasks := make([]online.Task, 240)
+		for i := range tasks {
+			at := float64(i) / 40
+			tasks[i] = online.Task{
+				ID:     i,
+				Loc:    geo.Pt(rng.Float64()*space, rng.Float64()*space),
+				Expiry: at + 0.75,
+				Reward: 1,
+			}
+		}
+		return tasks
+	}
+
+	for _, nw := range []int{4, 8, 12, 16} {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(nw)))
+		inst := &model.Instance{
+			Center: geo.Pt(space/2, space/2),
+			Travel: tm,
+		}
+		for w := 0; w < nw; w++ {
+			inst.Workers = append(inst.Workers, model.Worker{
+				ID:  w,
+				Loc: geo.Pt(rng.Float64()*space, rng.Float64()*space),
+			})
+		}
+		for _, policy := range []online.Policy{online.Greedy, online.FairFirst} {
+			m, err := online.NewMatcher(inst, policy)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i, task := range mkStream() {
+				m.Offer(float64(i)/40, task)
+			}
+			rep := m.Report()
+			s.Points = append(s.Points, Point{
+				X:          float64(nw),
+				Algorithm:  policy.String(),
+				PayoffDiff: rep.RateDifference,
+				AvgPayoff:  rep.RateAverage,
+				CPUSeconds: time.Since(start).Seconds(),
+				Iterations: rep.Assigned,
+			})
+		}
+	}
+	return s, nil
+}

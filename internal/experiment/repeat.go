@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"fairtask/internal/stats"
+)
+
+// AggregatePoint is the per-(x, algorithm) aggregation over repeated runs.
+type AggregatePoint struct {
+	X         float64
+	Algorithm string
+	// Mean and Std of the payoff difference over the repetitions.
+	MeanPayoffDiff, StdPayoffDiff float64
+	// Mean and Std of the average payoff.
+	MeanAvgPayoff, StdAvgPayoff float64
+	// MeanCPU is the mean solve time in seconds.
+	MeanCPU float64
+	// Runs is the number of repetitions aggregated.
+	Runs int
+}
+
+// AggregateSeries is the repeated-run form of Series.
+type AggregateSeries struct {
+	Figure string
+	Title  string
+	XLabel string
+	Points []AggregatePoint
+}
+
+// RunRepeated executes the named figure reps times with seeds cfg.Seed,
+// cfg.Seed+1, ... and aggregates every (x, algorithm) cell to mean and
+// standard deviation — the form in which papers usually report randomized
+// experiments. reps < 1 is treated as 1.
+func RunRepeated(name string, cfg Config, reps int) (*AggregateSeries, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	type key struct {
+		x   float64
+		alg string
+	}
+	diffs := map[key][]float64{}
+	avgs := map[key][]float64{}
+	cpus := map[key][]float64{}
+	var template *Series
+	for r := 0; r < reps; r++ {
+		run := cfg
+		run.Seed = cfg.Seed + int64(r)
+		s, err := Run(name, run)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", r, err)
+		}
+		if template == nil {
+			template = s
+		}
+		for _, p := range s.Points {
+			k := key{p.X, p.Algorithm}
+			diffs[k] = append(diffs[k], p.PayoffDiff)
+			avgs[k] = append(avgs[k], p.AvgPayoff)
+			cpus[k] = append(cpus[k], p.CPUSeconds)
+		}
+	}
+
+	out := &AggregateSeries{
+		Figure: template.Figure,
+		Title:  template.Title + fmt.Sprintf(" (mean of %d runs)", reps),
+		XLabel: template.XLabel,
+	}
+	keys := make([]key, 0, len(diffs))
+	for k := range diffs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].alg < keys[j].alg
+	})
+	for _, k := range keys {
+		out.Points = append(out.Points, AggregatePoint{
+			X:              k.x,
+			Algorithm:      k.alg,
+			MeanPayoffDiff: stats.Mean(diffs[k]),
+			StdPayoffDiff:  stats.StdDev(diffs[k]),
+			MeanAvgPayoff:  stats.Mean(avgs[k]),
+			StdAvgPayoff:   stats.StdDev(avgs[k]),
+			MeanCPU:        stats.Mean(cpus[k]),
+			Runs:           len(diffs[k]),
+		})
+	}
+	return out, nil
+}
+
+// WriteTables renders the aggregated series with mean±std cells.
+func (s *AggregateSeries) WriteTables(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", s.Figure, s.Title); err != nil {
+		return err
+	}
+	metrics := []struct {
+		name string
+		cell func(AggregatePoint) string
+	}{
+		{"payoff difference (P_dif)", func(p AggregatePoint) string {
+			return fmt.Sprintf("%.4f±%.4f", p.MeanPayoffDiff, p.StdPayoffDiff)
+		}},
+		{"average payoff", func(p AggregatePoint) string {
+			return fmt.Sprintf("%.4f±%.4f", p.MeanAvgPayoff, p.StdAvgPayoff)
+		}},
+		{"CPU time (s)", func(p AggregatePoint) string {
+			return fmt.Sprintf("%.4f", p.MeanCPU)
+		}},
+	}
+	algs := s.algorithmsInOrder()
+	xs := s.xValues()
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", m.name); err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "%s", s.XLabel)
+		for _, a := range algs {
+			fmt.Fprintf(tw, "\t%s", a)
+		}
+		fmt.Fprintln(tw)
+		for _, x := range xs {
+			fmt.Fprintf(tw, "%g", x)
+			for _, a := range algs {
+				cell := "-"
+				for _, p := range s.Points {
+					if p.X == x && p.Algorithm == a {
+						cell = m.cell(p)
+						break
+					}
+				}
+				fmt.Fprintf(tw, "\t%s", cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *AggregateSeries) algorithmsInOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range s.Points {
+		if !seen[p.Algorithm] {
+			seen[p.Algorithm] = true
+			out = append(out, p.Algorithm)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *AggregateSeries) xValues() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range s.Points {
+		if !seen[p.X] {
+			seen[p.X] = true
+			out = append(out, p.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

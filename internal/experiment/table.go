@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// WriteTables renders the series as three pivot tables — payoff difference,
+// average payoff and CPU seconds — with one row per x value and one column
+// per algorithm, mirroring how the paper's figures present the comparison.
+func (s *Series) WriteTables(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", s.Figure, s.Title); err != nil {
+		return err
+	}
+	metrics := []struct {
+		name string
+		get  func(Point) float64
+	}{
+		{"payoff difference (P_dif)", func(p Point) float64 { return p.PayoffDiff }},
+		{"average payoff", func(p Point) float64 { return p.AvgPayoff }},
+		{"CPU time (s)", func(p Point) float64 { return p.CPUSeconds }},
+	}
+	for _, m := range metrics {
+		if err := s.writePivot(w, m.name, m.get); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// algorithmsInOrder returns the distinct algorithm names in first-seen
+// order, which the runners emit in the paper's MPTA, GTA, FGT, IEGT order.
+func (s *Series) algorithmsInOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range s.Points {
+		if !seen[p.Algorithm] {
+			seen[p.Algorithm] = true
+			out = append(out, p.Algorithm)
+		}
+	}
+	return out
+}
+
+// xValues returns the distinct x values in ascending order.
+func (s *Series) xValues() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range s.Points {
+		if !seen[p.X] {
+			seen[p.X] = true
+			out = append(out, p.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Lookup returns the point for (x, algorithm), or ok == false.
+func (s *Series) Lookup(x float64, algorithm string) (Point, bool) {
+	for _, p := range s.Points {
+		if p.X == x && p.Algorithm == algorithm {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+func (s *Series) writePivot(w io.Writer, title string, get func(Point) float64) error {
+	if _, err := fmt.Fprintf(w, "\n-- %s --\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	algs := s.algorithmsInOrder()
+
+	fmt.Fprintf(tw, "%s", s.XLabel)
+	for _, a := range algs {
+		fmt.Fprintf(tw, "\t%s", a)
+	}
+	fmt.Fprintln(tw)
+
+	for _, x := range s.xValues() {
+		fmt.Fprintf(tw, "%g", x)
+		for _, a := range algs {
+			if p, ok := s.Lookup(x, a); ok {
+				fmt.Fprintf(tw, "\t%.4f", get(p))
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV emits the series as a flat CSV (one row per measurement) for
+// external plotting tools:
+//
+//	figure,x,algorithm,payoff_diff,avg_payoff,cpu_seconds,iterations
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"figure", "x", "algorithm", "payoff_diff", "avg_payoff", "cpu_seconds", "iterations",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range s.Points {
+		rec := []string{
+			s.Figure, f(p.X), p.Algorithm,
+			f(p.PayoffDiff), f(p.AvgPayoff), f(p.CPUSeconds),
+			strconv.Itoa(p.Iterations),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

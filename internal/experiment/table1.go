@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Parameter is one row of the paper's Table I ("Experiment Parameters"):
+// the swept values of one knob for one dataset, with the default value the
+// paper underlines.
+type Parameter struct {
+	// Name is the paper's symbol, e.g. "epsilon" or "|S|".
+	Name string
+	// Dataset is "GM" or "SYN".
+	Dataset string
+	// Values are the swept settings in Table I order.
+	Values []float64
+	// Default is the underlined default value.
+	Default float64
+	// Unit annotates the values ("km", "h", "count").
+	Unit string
+}
+
+// TableI returns the paper's full experiment parameter registry. The figure
+// runners derive their sweeps from the same values (scaled for SYN); this
+// function is the authoritative transcription of the table.
+func TableI() []Parameter {
+	return []Parameter{
+		{Name: "epsilon", Dataset: "GM", Values: []float64{0.2, 0.4, 0.6, 0.8, 1}, Default: 0.6, Unit: "km"},
+		{Name: "epsilon", Dataset: "SYN", Values: []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4}, Default: 2, Unit: "km"},
+		{Name: "|S|", Dataset: "GM", Values: []float64{100, 200, 300, 400, 500}, Default: 200, Unit: "count"},
+		{Name: "|S|", Dataset: "SYN", Values: []float64{25000, 50000, 75000, 100000, 125000}, Default: 100000, Unit: "count"},
+		{Name: "|W|", Dataset: "GM", Values: []float64{20, 40, 60, 80, 100}, Default: 40, Unit: "count"},
+		{Name: "|W|", Dataset: "SYN", Values: []float64{1000, 2000, 3000, 4000, 5000}, Default: 2000, Unit: "count"},
+		{Name: "|DP|", Dataset: "GM", Values: []float64{20, 40, 60, 80, 100}, Default: 100, Unit: "count"},
+		{Name: "|DP|", Dataset: "SYN", Values: []float64{3000, 3500, 4000, 4500, 5000}, Default: 5000, Unit: "count"},
+		{Name: "e", Dataset: "SYN", Values: []float64{0.5, 1, 1.5, 2, 2.5}, Default: 2, Unit: "h"},
+		{Name: "maxDP", Dataset: "SYN", Values: []float64{1, 2, 3, 4}, Default: 3, Unit: "count"},
+	}
+}
+
+// WriteTableI renders the parameter registry as an aligned text table, with
+// the default value marked like the paper's underlining.
+func WriteTableI(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "parameter\tdataset\tvalues (default marked *)\tunit")
+	for _, p := range TableI() {
+		var vals []string
+		for _, v := range p.Values {
+			s := fmt.Sprintf("%g", v)
+			if v == p.Default {
+				s += "*"
+			}
+			vals = append(vals, s)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Name, p.Dataset, strings.Join(vals, ", "), p.Unit)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,109 @@
+// Package fairness implements the Inequity Aversion based Utility (IAU) of
+// paper §V-A (Equations 5-7) and the exact potential function of Lemma 2,
+// plus the priority-aware extension sketched in the paper's conclusion.
+//
+// IAU models inequity aversion (Fehr & Schmidt): a worker's utility is its
+// payoff minus penalties for disadvantageous inequity (others earn more, MP)
+// and advantageous inequity (the worker earns more than others, LP):
+//
+//	IAU_i = P_i - (alpha/(|W|-1))*MP_i - (beta/(|W|-1))*LP_i
+//	MP_i  = sum over j with P_j > P_i of (P_j - P_i)
+//	LP_i  = sum over j with P_i > P_j of (P_i - P_j)
+package fairness
+
+// Params hold the inequity-aversion weights. The paper's experiments set
+// both to 0.5 so envy (MP) and guilt (LP) weigh equally.
+type Params struct {
+	// Alpha weights MP, the disadvantageous-inequity penalty.
+	Alpha float64
+	// Beta weights LP, the advantageous-inequity penalty.
+	Beta float64
+}
+
+// DefaultParams returns the paper's experimental setting alpha = beta = 0.5.
+func DefaultParams() Params { return Params{Alpha: 0.5, Beta: 0.5} }
+
+// MP returns the total extra payoff workers richer than i obtain
+// (Equation 6).
+func MP(payoffs []float64, i int) float64 {
+	var sum float64
+	pi := payoffs[i]
+	for j, pj := range payoffs {
+		if j != i && pj > pi {
+			sum += pj - pi
+		}
+	}
+	return sum
+}
+
+// LP returns the total extra payoff worker i obtains compared with poorer
+// workers (Equation 7).
+func LP(payoffs []float64, i int) float64 {
+	var sum float64
+	pi := payoffs[i]
+	for j, pj := range payoffs {
+		if j != i && pi > pj {
+			sum += pi - pj
+		}
+	}
+	return sum
+}
+
+// IAU returns worker i's inequity-aversion utility (Equation 5) given the
+// payoffs of all workers. With fewer than two workers the inequity terms
+// vanish and IAU equals the raw payoff.
+func IAU(p Params, payoffs []float64, i int) float64 {
+	n := len(payoffs)
+	if n < 2 {
+		return payoffs[i]
+	}
+	scale := 1 / float64(n-1)
+	return payoffs[i] - p.Alpha*scale*MP(payoffs, i) - p.Beta*scale*LP(payoffs, i)
+}
+
+// All returns the IAU of every worker.
+func All(p Params, payoffs []float64) []float64 {
+	out := make([]float64, len(payoffs))
+	for i := range payoffs {
+		out[i] = IAU(p, payoffs, i)
+	}
+	return out
+}
+
+// Potential returns the exact potential Phi = sum of IAUs (Lemma 2). In an
+// exact potential game, a unilateral strategy change alters Phi by exactly
+// the deviator's utility change, which is what guarantees best-response
+// dynamics converge to a pure Nash equilibrium.
+//
+// Note: the paper asserts Phi = sum IAU is an exact potential; because MP/LP
+// couple workers, the identity holds exactly only when the inequity terms of
+// non-deviators are unchanged. The game package therefore treats Phi as a
+// Lyapunov-style progress measure and additionally bounds iterations.
+func Potential(p Params, payoffs []float64) float64 {
+	var phi float64
+	for i := range payoffs {
+		phi += IAU(p, payoffs, i)
+	}
+	return phi
+}
+
+// PriorityIAU is the priority-aware fairness extension (paper §VIII): the
+// inequity penalties compare priority-normalized payoffs P_j / priority_j,
+// so a high-priority worker is "entitled" to proportionally higher payoff
+// before being considered advantaged.
+func PriorityIAU(p Params, payoffs, priorities []float64, i int) float64 {
+	n := len(payoffs)
+	if n < 2 {
+		return payoffs[i]
+	}
+	norm := make([]float64, n)
+	for j := range payoffs {
+		pr := priorities[j]
+		if pr <= 0 {
+			pr = 1
+		}
+		norm[j] = payoffs[j] / pr
+	}
+	scale := 1 / float64(n-1)
+	return payoffs[i] - p.Alpha*scale*MP(norm, i) - p.Beta*scale*LP(norm, i)
+}

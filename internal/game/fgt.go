@@ -1,0 +1,189 @@
+package game
+
+import (
+	"errors"
+	"math/rand"
+
+	"fairtask/internal/fairness"
+	"fairtask/internal/model"
+	"fairtask/internal/payoff"
+	"fairtask/internal/vdps"
+)
+
+// Options configure the FGT best-response run.
+type Options struct {
+	// Fairness holds the IAU weights; the zero value is replaced by the
+	// paper's default alpha = beta = 0.5.
+	Fairness fairness.Params
+	// MaxIterations caps best-response rounds (a round visits every
+	// worker once). Zero means the default of 200.
+	MaxIterations int
+	// Seed drives the random initial assignment.
+	Seed int64
+	// EpsilonUtility implements the paper's future-work early termination:
+	// a worker only switches when the utility gain exceeds this threshold.
+	// Zero means the numerical default of 1e-12.
+	EpsilonUtility float64
+	// UsePriorities switches the utility to the priority-aware IAU
+	// extension, reading worker priorities from the instance.
+	UsePriorities bool
+	// Trace enables per-iteration statistics collection (Figure 12).
+	Trace bool
+	// RandomOrder shuffles the best-response visiting order every round
+	// instead of the default fixed round-robin. The paper plays the game
+	// "in sequence"; random order is an ablation of that choice.
+	RandomOrder bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fairness == (fairness.Params{}) {
+		o.Fairness = fairness.DefaultParams()
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.EpsilonUtility <= 0 {
+		o.EpsilonUtility = 1e-12
+	}
+	return o
+}
+
+// IterationStat records one best-response round for convergence studies.
+type IterationStat struct {
+	// Iteration is the 1-based round number.
+	Iteration int
+	// Changes is how many workers switched strategy this round.
+	Changes int
+	// Potential is Phi = sum of IAUs after the round.
+	Potential float64
+	// PayoffDiff is P_dif after the round.
+	PayoffDiff float64
+	// AvgPayoff is the mean payoff after the round.
+	AvgPayoff float64
+}
+
+// Result is the outcome of a game-theoretic run (FGT or IEGT).
+type Result struct {
+	// Assignment is the final task assignment.
+	Assignment *model.Assignment
+	// Summary holds the final payoff metrics.
+	Summary payoff.Summary
+	// Iterations is the number of rounds executed.
+	Iterations int
+	// Converged reports whether a fixed point (pure Nash equilibrium for
+	// FGT, evolutionary equilibrium for IEGT) was reached before the
+	// iteration cap.
+	Converged bool
+	// Trace holds per-round statistics when Options.Trace was set.
+	Trace []IterationStat
+}
+
+// ErrNoWorkers is returned when the instance has no workers.
+var ErrNoWorkers = errors.New("game: instance has no workers")
+
+// FGT runs the Fairness-aware Game-Theoretic approach (Algorithm 2):
+// a random singleton initialization followed by sequential asynchronous
+// best-response updates of the workers' strategies under the IAU utility,
+// until a pure Nash equilibrium (no worker switches) is reached.
+func FGT(g *vdps.Generator, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	s := NewState(g)
+	if len(s.Current) == 0 {
+		return nil, ErrNoWorkers
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	s.RandomInit(rng)
+
+	priorities := workerPriorities(s.Instance(), opt.UsePriorities)
+
+	res := &Result{}
+	scratch := make([]float64, len(s.Payoffs))
+	order := make([]int, len(s.Current))
+	for i := range order {
+		order[i] = i
+	}
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		if opt.RandomOrder {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		changes := 0
+		for _, w := range order {
+			if best, ok := bestResponse(s, w, opt, priorities, scratch); ok && best != s.Current[w] {
+				s.Switch(w, best)
+				changes++
+			}
+		}
+		res.Iterations = iter
+		if opt.Trace {
+			sum := s.Summary()
+			res.Trace = append(res.Trace, IterationStat{
+				Iteration:  iter,
+				Changes:    changes,
+				Potential:  fairness.Potential(opt.Fairness, s.Payoffs),
+				PayoffDiff: sum.Difference,
+				AvgPayoff:  sum.Average,
+			})
+		}
+		if changes == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assignment = s.Assignment()
+	res.Summary = s.Summary()
+	return res, nil
+}
+
+// bestResponse returns worker w's utility-maximizing available strategy
+// (Equation 10) under the current joint strategy of the others, preferring
+// the incumbent on ties so a Nash equilibrium is a true fixed point.
+// The second return value is false when the worker has no strategies at all.
+func bestResponse(s *State, w int, opt Options, priorities []float64, scratch []float64) (int, bool) {
+	if len(s.Strategies[w]) == 0 {
+		return Null, false
+	}
+	copy(scratch, s.Payoffs)
+
+	utility := func(p float64) float64 {
+		scratch[w] = p
+		if priorities != nil {
+			return fairness.PriorityIAU(opt.Fairness, scratch, priorities, w)
+		}
+		return fairness.IAU(opt.Fairness, scratch, w)
+	}
+
+	best := s.Current[w]
+	var bestU float64
+	if best == Null {
+		bestU = utility(0)
+	} else {
+		bestU = utility(s.Payoffs[w])
+	}
+
+	// The null strategy is always available.
+	if u := utility(0); s.Current[w] != Null && u > bestU+opt.EpsilonUtility {
+		best, bestU = Null, u
+	}
+	for si := range s.Strategies[w] {
+		if si == s.Current[w] || !s.Available(w, si) {
+			continue
+		}
+		if u := utility(s.Strategies[w][si].Payoff); u > bestU+opt.EpsilonUtility {
+			best, bestU = si, u
+		}
+	}
+	return best, true
+}
+
+// workerPriorities extracts the effective priorities when the priority-aware
+// extension is enabled, or nil for plain IAU.
+func workerPriorities(in *model.Instance, use bool) []float64 {
+	if !use {
+		return nil
+	}
+	out := make([]float64, len(in.Workers))
+	for i := range in.Workers {
+		out[i] = in.Workers[i].EffectivePriority()
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package game
+
+import (
+	"testing"
+
+	"fairtask/internal/vdps"
+)
+
+func benchSetup(b *testing.B, nPoints, nWorkers int) *vdps.Generator {
+	b.Helper()
+	in := gridInstance(nPoints, nWorkers, 3, 100)
+	g, err := vdps.Generate(in, vdps.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkFGT(b *testing.B) {
+	g := benchSetup(b, 20, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FGT(g, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestResponseRound(b *testing.B) {
+	g := benchSetup(b, 20, 10)
+	s := NewState(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch := make([]float64, len(s.Payoffs))
+		for w := range s.Current {
+			bestResponse(s, w, Options{}.withDefaults(), nil, scratch)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package game formulates FTA as an n-player strategic game (paper §V) and
+// implements the Fairness-aware Game-Theoretic (FGT) best-response algorithm
+// (Algorithm 2). The State type — strategy spaces, current joint strategy,
+// delivery-point ownership and payoffs — is shared with the evolutionary
+// algorithm in package evo.
+package game
+
+import (
+	"math/rand"
+
+	"fairtask/internal/model"
+	"fairtask/internal/payoff"
+	"fairtask/internal/vdps"
+)
+
+// Null is the strategy index meaning "select no delivery points".
+const Null = -1
+
+// State is the mutable state of an FTA game: each worker's strategy space
+// (its valid VDPSs), the current joint strategy, the delivery-point owner
+// table enforcing disjointness, and the induced payoffs.
+type State struct {
+	gen *vdps.Generator
+	// Strategies[w] lists worker w's valid VDPSs, sorted by descending
+	// payoff (see vdps.Generator.ForWorker).
+	Strategies [][]vdps.WorkerVDPS
+	// Current[w] is the index into Strategies[w] of w's chosen strategy, or
+	// Null.
+	Current []int
+	// Payoffs[w] is the payoff of w's current strategy (0 for Null).
+	Payoffs []float64
+	// owner[p] is the worker currently holding delivery point p, or -1.
+	owner []int
+}
+
+// NewState builds a game state with empty strategy choices from the
+// generator's per-worker VDPS lists.
+func NewState(g *vdps.Generator) *State {
+	in := g.Instance()
+	n := len(in.Workers)
+	s := &State{
+		gen:        g,
+		Strategies: make([][]vdps.WorkerVDPS, n),
+		Current:    make([]int, n),
+		Payoffs:    make([]float64, n),
+		owner:      make([]int, len(in.Points)),
+	}
+	for w := 0; w < n; w++ {
+		s.Strategies[w] = g.ForWorker(w)
+		s.Current[w] = Null
+	}
+	for p := range s.owner {
+		s.owner[p] = -1
+	}
+	return s
+}
+
+// Instance returns the underlying problem instance.
+func (s *State) Instance() *model.Instance { return s.gen.Instance() }
+
+// Generator returns the VDPS generator backing the state.
+func (s *State) Generator() *vdps.Generator { return s.gen }
+
+// points returns the delivery-point set of worker w's strategy si.
+func (s *State) points(w, si int) []int {
+	return s.gen.Candidates()[s.Strategies[w][si].Candidate].Points
+}
+
+// Available reports whether worker w could switch to strategy si without
+// overlapping another worker's current delivery points. The worker's own
+// current points do not block the switch. si == Null is always available.
+func (s *State) Available(w, si int) bool {
+	if si == Null {
+		return true
+	}
+	for _, p := range s.points(w, si) {
+		if o := s.owner[p]; o != -1 && o != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Switch sets worker w's strategy to si (possibly Null), releasing w's
+// previous delivery points and claiming the new ones. It panics if the new
+// strategy is not available; callers must check Available first.
+func (s *State) Switch(w, si int) {
+	if cur := s.Current[w]; cur != Null {
+		for _, p := range s.points(w, cur) {
+			s.owner[p] = -1
+		}
+	}
+	if si == Null {
+		s.Current[w] = Null
+		s.Payoffs[w] = 0
+		return
+	}
+	for _, p := range s.points(w, si) {
+		if o := s.owner[p]; o != -1 && o != w {
+			panic("game: Switch to unavailable strategy")
+		}
+		s.owner[p] = w
+	}
+	s.Current[w] = si
+	s.Payoffs[w] = s.Strategies[w][si].Payoff
+}
+
+// RandomInit performs the initial assignment of Algorithm 2 (lines 6-16)
+// and Algorithm 3 (lines 6-16): workers are visited in random order and each
+// receives a random *singleton* VDPS (a set with one delivery point) among
+// those still available; workers without any available singleton get Null.
+func (s *State) RandomInit(rng *rand.Rand) {
+	order := rng.Perm(len(s.Current))
+	for _, w := range order {
+		var singles []int
+		for si, st := range s.Strategies[w] {
+			if len(st.Seq) == 1 && s.Available(w, si) {
+				singles = append(singles, si)
+			}
+		}
+		if len(singles) == 0 {
+			s.Switch(w, Null)
+			continue
+		}
+		s.Switch(w, singles[rng.Intn(len(singles))])
+	}
+}
+
+// Assignment materializes the current joint strategy as a model.Assignment.
+func (s *State) Assignment() *model.Assignment {
+	a := model.NewAssignment(len(s.Current))
+	for w, si := range s.Current {
+		if si != Null {
+			a.Routes[w] = s.Strategies[w][si].Seq.Clone()
+		}
+	}
+	return a
+}
+
+// Summary returns the payoff metrics of the current joint strategy.
+func (s *State) Summary() payoff.Summary {
+	return payoff.Summarize(s.Instance(), s.Assignment())
+}
+
+// EligibleWorkers returns the number of workers with a non-empty strategy
+// space.
+func (s *State) EligibleWorkers() int {
+	var n int
+	for _, st := range s.Strategies {
+		if len(st) > 0 {
+			n++
+		}
+	}
+	return n
+}

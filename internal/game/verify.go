@@ -1,0 +1,98 @@
+package game
+
+import (
+	"fmt"
+
+	"fairtask/internal/fairness"
+	"fairtask/internal/model"
+	"fairtask/internal/vdps"
+)
+
+// LoadAssignment sets the state's joint strategy to match an existing
+// assignment, resolving each non-empty route to the worker's strategy with
+// the same visiting sequence. It fails if a route is not in the worker's
+// strategy space (e.g. the assignment came from a different instance or
+// candidate generation options).
+func (s *State) LoadAssignment(a *model.Assignment) error {
+	if len(a.Routes) != len(s.Current) {
+		return fmt.Errorf("game: assignment has %d routes for %d workers",
+			len(a.Routes), len(s.Current))
+	}
+	for w, r := range a.Routes {
+		if len(r) == 0 {
+			continue
+		}
+		found := false
+		for si, st := range s.Strategies[w] {
+			if routeEqual(st.Seq, r) {
+				if !s.Available(w, si) {
+					return fmt.Errorf("game: route %v for worker %d conflicts with another worker", r, w)
+				}
+				s.Switch(w, si)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("game: route %v not in worker %d's strategy space", r, w)
+		}
+	}
+	return nil
+}
+
+func routeEqual(a, b model.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyNE checks that the assignment is a pure Nash equilibrium of the FTA
+// game under the IAU utility: no worker has an available strategy (or Null)
+// with utility more than tol above its current one. It returns nil when the
+// assignment is an equilibrium and a descriptive error otherwise.
+//
+// This is the certificate form of Algorithm 2's termination condition;
+// callers can use it to audit assignments produced elsewhere.
+func VerifyNE(g *vdps.Generator, a *model.Assignment, prm fairness.Params, tol float64) error {
+	if prm == (fairness.Params{}) {
+		prm = fairness.DefaultParams()
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	s := NewState(g)
+	if err := s.LoadAssignment(a); err != nil {
+		return err
+	}
+	scratch := make([]float64, len(s.Payoffs))
+	for w := range s.Current {
+		copy(scratch, s.Payoffs)
+		scratch[w] = s.Payoffs[w]
+		cur := fairness.IAU(prm, scratch, w)
+		utility := func(p float64) float64 {
+			scratch[w] = p
+			return fairness.IAU(prm, scratch, w)
+		}
+		if s.Current[w] != Null {
+			if u := utility(0); u > cur+tol {
+				return fmt.Errorf("game: worker %d improves IAU %g -> %g by going idle", w, cur, u)
+			}
+		}
+		for si := range s.Strategies[w] {
+			if si == s.Current[w] || !s.Available(w, si) {
+				continue
+			}
+			if u := utility(s.Strategies[w][si].Payoff); u > cur+tol {
+				return fmt.Errorf("game: worker %d improves IAU %g -> %g via strategy %v (not a Nash equilibrium)",
+					w, cur, u, s.Strategies[w][si].Seq)
+			}
+		}
+	}
+	return nil
+}

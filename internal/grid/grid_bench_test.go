@@ -1,0 +1,53 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairtask/internal/geo"
+)
+
+func benchPoints(n int) []geo.Point {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func BenchmarkNew(b *testing.B) {
+	pts := benchPoints(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(pts, 2)
+	}
+}
+
+func BenchmarkWithin(b *testing.B) {
+	pts := benchPoints(5000)
+	ix := New(pts, 2)
+	dst := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ix.Within(pts[i%len(pts)], 2, dst[:0])
+	}
+}
+
+// BenchmarkWithinScan is the brute-force baseline Within replaces.
+func BenchmarkWithinScan(b *testing.B) {
+	pts := benchPoints(5000)
+	e := geo.Euclidean{}
+	var hits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := pts[i%len(pts)]
+		hits = 0
+		for _, p := range pts {
+			if e.Distance(q, p) <= 2 {
+				hits++
+			}
+		}
+	}
+	_ = hits
+}

@@ -1,0 +1,74 @@
+package payoff
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the payoffs using linear
+// interpolation between order statistics. It returns 0 for empty input and
+// clamps q into [0, 1].
+func Quantile(payoffs []float64, q float64) float64 {
+	n := len(payoffs)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), payoffs...)
+	sort.Float64s(sorted)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LorenzPoint is one point of a Lorenz curve: the poorest Population share
+// of workers holds the Share fraction of total payoff.
+type LorenzPoint struct {
+	Population float64
+	Share      float64
+}
+
+// Lorenz returns the Lorenz curve of the payoffs: len(payoffs)+1 points
+// from (0,0) to (1,1), with the i-th point giving the payoff share of the
+// poorest i workers. For all-zero or empty input it returns the diagonal
+// (perfect equality), matching the Gini convention in this package.
+func Lorenz(payoffs []float64) []LorenzPoint {
+	n := len(payoffs)
+	if n == 0 {
+		return []LorenzPoint{{0, 0}, {1, 1}}
+	}
+	sorted := append([]float64(nil), payoffs...)
+	sort.Float64s(sorted)
+	total := Sum(sorted)
+	out := make([]LorenzPoint, n+1)
+	var cum float64
+	for i, p := range sorted {
+		cum += p
+		share := float64(i+1) / float64(n)
+		if total > 0 {
+			out[i+1] = LorenzPoint{Population: share, Share: cum / total}
+		} else {
+			out[i+1] = LorenzPoint{Population: share, Share: share}
+		}
+	}
+	return out
+}
+
+// Sum returns the total of the payoffs.
+func Sum(payoffs []float64) float64 {
+	var s float64
+	for _, p := range payoffs {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package payoff
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	p := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(p, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Input unmodified.
+	if p[0] != 4 {
+		t.Error("Quantile modified input")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []uint8, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v)
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(p, q1), Quantile(p, q2)
+		return v1 <= v2+1e-9 &&
+			v1 >= MinPayoff(p)-1e-9 && v2 <= Quantile(p, 1)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLorenzBasics(t *testing.T) {
+	// Empty input: the diagonal.
+	lz := Lorenz(nil)
+	if len(lz) != 2 || lz[1] != (LorenzPoint{1, 1}) {
+		t.Errorf("empty Lorenz = %v", lz)
+	}
+	// Perfect equality: the curve is the diagonal.
+	lz = Lorenz([]float64{2, 2, 2, 2})
+	for _, pt := range lz {
+		if math.Abs(pt.Share-pt.Population) > 1e-9 {
+			t.Errorf("equality Lorenz deviates from diagonal at %+v", pt)
+		}
+	}
+	// Extreme inequality: the poorest 3 of 4 hold nothing.
+	lz = Lorenz([]float64{0, 0, 0, 8})
+	if lz[3].Share != 0 {
+		t.Errorf("poorest-3 share = %g, want 0", lz[3].Share)
+	}
+	if lz[4].Share != 1 {
+		t.Errorf("full share = %g, want 1", lz[4].Share)
+	}
+	// All-zero payoffs: diagonal by convention.
+	lz = Lorenz([]float64{0, 0})
+	if math.Abs(lz[1].Share-0.5) > 1e-9 {
+		t.Errorf("all-zero Lorenz = %v", lz)
+	}
+}
+
+// Properties: the Lorenz curve starts at (0,0), ends at (1,1), is
+// non-decreasing, and never rises above the diagonal.
+func TestLorenzShape(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v)
+		}
+		lz := Lorenz(p)
+		if lz[0] != (LorenzPoint{0, 0}) {
+			return false
+		}
+		last := lz[len(lz)-1]
+		if math.Abs(last.Population-1) > 1e-9 || math.Abs(last.Share-1) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(lz); i++ {
+			if lz[i].Share < lz[i-1].Share-1e-9 {
+				return false
+			}
+			if lz[i].Share > lz[i].Population+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-check: the Gini coefficient of this package approximates the area
+// interpretation 1 - 2*AUC(Lorenz) up to the small-sample correction.
+func TestGiniLorenzConsistency(t *testing.T) {
+	p := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lz := Lorenz(p)
+	var auc float64
+	for i := 1; i < len(lz); i++ {
+		auc += (lz[i].Share + lz[i-1].Share) / 2 * (lz[i].Population - lz[i-1].Population)
+	}
+	areaGini := 1 - 2*auc
+	// The mean-absolute-difference Gini equals the area Gini times n/(n-1).
+	n := float64(len(p))
+	if got := Gini(p); math.Abs(got-areaGini*n/(n-1)) > 1e-9 {
+		t.Errorf("Gini = %g, area-based = %g (corrected %g)",
+			got, areaGini, areaGini*n/(n-1))
+	}
+}

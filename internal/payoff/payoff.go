@@ -1,0 +1,171 @@
+// Package payoff computes worker payoffs (Definition 7) and assignment-level
+// metrics: the payoff difference P_dif (Equation 2, the paper's unfairness
+// measure) and the average worker payoff.
+package payoff
+
+import (
+	"math"
+	"sort"
+
+	"fairtask/internal/model"
+)
+
+// Worker returns worker w's payoff for the route r (Definition 7): the total
+// task reward of the route's delivery points divided by the worker's total
+// travel time. An empty route yields a zero payoff.
+func Worker(in *model.Instance, w int, r model.Route) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	t := in.RouteTime(w, r)
+	if t <= 0 {
+		return 0
+	}
+	return in.RouteReward(r) / t
+}
+
+// WeightedWorker is the contribution-weighted payoff extension (paper §VIII,
+// "workers with different contributions to tasks"): the route reward is
+// scaled by the worker's contribution factor before dividing by travel time.
+func WeightedWorker(in *model.Instance, w int, r model.Route) float64 {
+	return Worker(in, w, r) * in.Workers[w].EffectiveContribution()
+}
+
+// Of returns the per-worker payoffs of an assignment, indexed like
+// in.Workers.
+func Of(in *model.Instance, a *model.Assignment) []float64 {
+	out := make([]float64, len(a.Routes))
+	for w, r := range a.Routes {
+		out[w] = Worker(in, w, r)
+	}
+	return out
+}
+
+// Difference returns P_dif (Equation 2): the mean absolute payoff difference
+// over all ordered worker pairs,
+//
+//	P_dif = sum_{i != j} |P(w_i) - P(w_j)| / (|W| (|W|-1)).
+//
+// It returns 0 for fewer than two workers. The computation sorts a copy of
+// the payoffs and uses prefix sums, so it runs in O(n log n) rather than the
+// naive O(n^2).
+func Difference(payoffs []float64) float64 {
+	n := len(payoffs)
+	if n < 2 {
+		return 0
+	}
+	sorted := append([]float64(nil), payoffs...)
+	sort.Float64s(sorted)
+	// sum over unordered pairs i<j of (p_j - p_i); each ordered pair counts
+	// the same absolute difference, so the ordered-pair sum is twice this.
+	var pairSum, prefix float64
+	for i, p := range sorted {
+		pairSum += p*float64(i) - prefix
+		prefix += p
+	}
+	return 2 * pairSum / float64(n*(n-1))
+}
+
+// Average returns the mean payoff, or 0 for an empty slice.
+func Average(payoffs []float64) float64 {
+	if len(payoffs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range payoffs {
+		sum += p
+	}
+	return sum / float64(len(payoffs))
+}
+
+// Summary aggregates the paper's evaluation metrics for one assignment.
+type Summary struct {
+	// Payoffs holds the per-worker payoffs.
+	Payoffs []float64
+	// Difference is P_dif (Equation 2), the unfairness measure.
+	Difference float64
+	// Average is the mean worker payoff.
+	Average float64
+	// Min and Max are the extreme payoffs.
+	Min, Max float64
+	// Total is the summed payoff.
+	Total float64
+	// Assigned is the number of workers with non-empty routes.
+	Assigned int
+}
+
+// Summarize computes a Summary for the assignment.
+func Summarize(in *model.Instance, a *model.Assignment) Summary {
+	p := Of(in, a)
+	s := Summary{
+		Payoffs:    p,
+		Difference: Difference(p),
+		Average:    Average(p),
+		Assigned:   a.AssignedWorkers(),
+	}
+	if len(p) == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range p {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Total += v
+	}
+	return s
+}
+
+// Gini returns the Gini coefficient of the payoffs: 0 for perfect equality,
+// approaching 1 as one worker takes everything. It is an alternative
+// descriptive fairness measure (the paper's future work asks for additional
+// models of fairness). Defined as the mean absolute difference divided by
+// twice the mean; 0 when the mean is 0 or fewer than two workers.
+func Gini(payoffs []float64) float64 {
+	if len(payoffs) < 2 {
+		return 0
+	}
+	mean := Average(payoffs)
+	if mean <= 0 {
+		return 0
+	}
+	return Difference(payoffs) / (2 * mean)
+}
+
+// JainIndex returns Jain's fairness index (sum p)^2 / (n * sum p^2): 1 for
+// perfect equality, 1/n when a single worker takes everything. Returns 1
+// for empty input or all-zero payoffs (vacuously fair).
+func JainIndex(payoffs []float64) float64 {
+	n := len(payoffs)
+	if n == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, p := range payoffs {
+		sum += p
+		sq += p * p
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sq)
+}
+
+// MinPayoff returns the smallest payoff, or 0 for empty input. It is the
+// objective of max-min fair assignment (Ye et al., discussed in the paper's
+// related work).
+func MinPayoff(payoffs []float64) float64 {
+	if len(payoffs) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, p := range payoffs {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}

@@ -1,0 +1,263 @@
+package payoff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/travel"
+)
+
+func testInstance() *model.Instance {
+	in := &model.Instance{
+		Center: geo.Pt(0, 0),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+	}
+	for i := 0; i < 3; i++ {
+		in.Points = append(in.Points, model.DeliveryPoint{
+			ID: i, Loc: geo.Pt(float64(i+1), 0),
+			Tasks: []model.Task{{ID: i, Point: i, Expiry: 100, Reward: float64(i + 1)}},
+		})
+	}
+	in.Workers = []model.Worker{
+		{ID: 0, Loc: geo.Pt(-1, 0)},
+		{ID: 1, Loc: geo.Pt(0, 2), Contribution: 2},
+	}
+	return in
+}
+
+func TestWorkerPayoff(t *testing.T) {
+	in := testInstance()
+	// Worker 0: approach 1; route {0,1}: legs 1 + 1 -> time 3, reward 1+2=3.
+	got := Worker(in, 0, model.Route{0, 1})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("payoff = %g, want 1", got)
+	}
+	if Worker(in, 0, nil) != 0 {
+		t.Error("empty route should have zero payoff")
+	}
+}
+
+func TestWeightedWorker(t *testing.T) {
+	in := testInstance()
+	base := Worker(in, 1, model.Route{0})
+	weighted := WeightedWorker(in, 1, model.Route{0})
+	if math.Abs(weighted-2*base) > 1e-9 {
+		t.Errorf("weighted = %g, want %g", weighted, 2*base)
+	}
+	if w0 := WeightedWorker(in, 0, model.Route{0}); math.Abs(w0-Worker(in, 0, model.Route{0})) > 1e-9 {
+		t.Error("default contribution should not change payoff")
+	}
+}
+
+func TestOf(t *testing.T) {
+	in := testInstance()
+	a := model.NewAssignment(2)
+	a.Routes[0] = model.Route{0, 1}
+	p := Of(in, a)
+	if len(p) != 2 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if math.Abs(p[0]-1) > 1e-9 || p[1] != 0 {
+		t.Errorf("payoffs = %v", p)
+	}
+}
+
+func TestDifferenceSmallCases(t *testing.T) {
+	if Difference(nil) != 0 || Difference([]float64{5}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// Two workers: |a-b|.
+	if got := Difference([]float64{1, 3}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Difference = %g, want 2", got)
+	}
+	// Three workers 0,1,2: ordered-pair sum = 2*(1+2+1) = 8, /6 = 4/3.
+	if got := Difference([]float64{0, 1, 2}); math.Abs(got-4.0/3) > 1e-9 {
+		t.Errorf("Difference = %g, want 4/3", got)
+	}
+	if got := Difference([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("equal payoffs: Difference = %g, want 0", got)
+	}
+}
+
+// naiveDifference is the O(n^2) transcription of Equation 2.
+func naiveDifference(p []float64) float64 {
+	n := len(p)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += math.Abs(p[i] - p[j])
+			}
+		}
+	}
+	return sum / float64(n*(n-1))
+}
+
+// Property: the fast Difference agrees with the naive Equation 2.
+func TestDifferenceMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v) / 16
+		}
+		return math.Abs(Difference(p)-naiveDifference(p)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Properties of P_dif: non-negative, zero iff all equal, permutation and
+// translation invariant, scales linearly.
+func TestDifferenceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() * 10
+		}
+		d := Difference(p)
+		if d < 0 {
+			t.Fatalf("negative difference %g", d)
+		}
+		// Permutation invariance.
+		q := append([]float64(nil), p...)
+		rng.Shuffle(n, func(i, j int) { q[i], q[j] = q[j], q[i] })
+		if math.Abs(Difference(q)-d) > 1e-9 {
+			t.Fatal("difference not permutation invariant")
+		}
+		// Translation invariance.
+		for i := range q {
+			q[i] = p[i] + 5
+		}
+		if math.Abs(Difference(q)-d) > 1e-9 {
+			t.Fatal("difference not translation invariant")
+		}
+		// Scaling.
+		for i := range q {
+			q[i] = p[i] * 3
+		}
+		if math.Abs(Difference(q)-3*d) > 1e-9 {
+			t.Fatal("difference does not scale linearly")
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	if Average(nil) != 0 {
+		t.Error("Average(nil) != 0")
+	}
+	if got := Average([]float64{1, 2, 3}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Average = %g, want 2", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	in := testInstance()
+	a := model.NewAssignment(2)
+	a.Routes[0] = model.Route{0, 1} // payoff 1
+	a.Routes[1] = model.Route{2}    // approach 2, leg 3 -> time 5, reward 3 -> 0.6
+	s := Summarize(in, a)
+	if s.Assigned != 2 {
+		t.Errorf("Assigned = %d", s.Assigned)
+	}
+	if math.Abs(s.Average-0.8) > 1e-9 {
+		t.Errorf("Average = %g, want 0.8", s.Average)
+	}
+	if math.Abs(s.Difference-0.4) > 1e-9 {
+		t.Errorf("Difference = %g, want 0.4", s.Difference)
+	}
+	if math.Abs(s.Min-0.6) > 1e-9 || math.Abs(s.Max-1) > 1e-9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if math.Abs(s.Total-1.6) > 1e-9 {
+		t.Errorf("Total = %g", s.Total)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	in := testInstance()
+	in.Workers = nil
+	s := Summarize(in, model.NewAssignment(0))
+	if s.Difference != 0 || s.Average != 0 || s.Assigned != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if Gini(nil) != 0 || Gini([]float64{5}) != 0 {
+		t.Error("degenerate Gini should be 0")
+	}
+	if got := Gini([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("equal payoffs Gini = %g, want 0", got)
+	}
+	// {0,0,0,4}: mean = 1; mean absolute pairwise difference = 24/12 = 2;
+	// Gini = 2/(2*1) = 1 under the uncorrected mean-absolute-difference
+	// definition this package uses. Pin the value.
+	if got := Gini([]float64{0, 0, 0, 4}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Gini = %g, want 1 (pinned definition)", got)
+	}
+	// Monotone: more unequal distributions have higher Gini.
+	if Gini([]float64{1, 3}) <= Gini([]float64{1.5, 2.5}) {
+		t.Error("Gini not monotone in spread")
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Error("all-zero Gini should be 0")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Error("degenerate Jain should be 1")
+	}
+	if got := JainIndex([]float64{3, 3, 3}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("equal payoffs Jain = %g, want 1", got)
+	}
+	// Single earner among n: 1/n.
+	if got := JainIndex([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("Jain = %g, want 0.25", got)
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for non-negative non-zero input.
+func TestJainBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			p[i] = float64(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		j := JainIndex(p)
+		n := float64(len(p))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinPayoff(t *testing.T) {
+	if MinPayoff(nil) != 0 {
+		t.Error("empty MinPayoff should be 0")
+	}
+	if got := MinPayoff([]float64{3, 1, 2}); got != 1 {
+		t.Errorf("MinPayoff = %g", got)
+	}
+}

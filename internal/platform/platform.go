@@ -1,0 +1,132 @@
+// Package platform is the spatial-crowdsourcing platform substrate: it runs
+// task assignment over many distribution centers in parallel (the paper
+// notes in §VII-A that assignment across centers is independent) and
+// simulates the worker lifecycle over repeated assignment epochs — workers
+// go offline while executing an assigned delivery point sequence and return
+// when done, tasks expire if left unassigned, and new tasks may arrive.
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fairtask/internal/assign"
+	"fairtask/internal/game"
+	"fairtask/internal/model"
+	"fairtask/internal/payoff"
+	"fairtask/internal/vdps"
+)
+
+// Options configure a one-shot multi-center assignment.
+type Options struct {
+	// VDPS configures candidate generation per center.
+	VDPS vdps.Options
+	// Parallelism bounds concurrent per-center solves. Zero means
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// Result is the outcome of a one-shot multi-center assignment.
+type Result struct {
+	// PerCenter holds each instance's result, indexed like
+	// Problem.Instances.
+	PerCenter []*game.Result
+	// Payoffs concatenates all workers' payoffs across centers.
+	Payoffs []float64
+	// Difference is P_dif over all workers of all centers.
+	Difference float64
+	// Average is the mean payoff over all workers of all centers.
+	Average float64
+	// Elapsed is the wall-clock time of the whole solve.
+	Elapsed time.Duration
+}
+
+// ErrNoInstances is returned for a problem without instances.
+var ErrNoInstances = errors.New("platform: problem has no instances")
+
+// Assign solves every instance of the problem with the given algorithm,
+// fanning centers out over Parallelism goroutines, and aggregates the
+// paper's metrics over the full worker population.
+func Assign(p *model.Problem, solver assign.Assigner, opt Options) (*Result, error) {
+	return AssignContext(context.Background(), p, solver, opt)
+}
+
+// AssignContext is Assign with cancellation: centers not yet started when
+// ctx is done are skipped and the context error is returned. In-flight
+// per-center solves run to completion (the solvers themselves are
+// CPU-bounded and fast at per-center scale).
+func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner, opt Options) (*Result, error) {
+	if len(p.Instances) == 0 {
+		return nil, ErrNoInstances
+	}
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	res := &Result{PerCenter: make([]*game.Result, len(p.Instances))}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for i := range p.Instances {
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := solveInstance(&p.Instances[i], solver, opt.VDPS)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("center %d: %w", p.Instances[i].CenterID, err)
+				}
+				return
+			}
+			res.PerCenter[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, r := range res.PerCenter {
+		res.Payoffs = append(res.Payoffs, r.Summary.Payoffs...)
+	}
+	res.Difference = payoff.Difference(res.Payoffs)
+	res.Average = payoff.Average(res.Payoffs)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// solveInstance generates VDPSs for one center and runs the solver. Centers
+// without workers yield an empty result rather than an error.
+func solveInstance(in *model.Instance, solver assign.Assigner, vopt vdps.Options) (*game.Result, error) {
+	if len(in.Workers) == 0 {
+		return &game.Result{
+			Assignment: model.NewAssignment(0),
+			Converged:  true,
+		}, nil
+	}
+	g, err := vdps.Generate(in, vopt)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Assign(g)
+}

@@ -1,0 +1,148 @@
+// Package render draws problem instances and assignments as standalone SVG
+// documents: the distribution center, delivery points sized by task count,
+// workers, and per-worker route polylines in distinct colors. Useful for
+// eyeballing assignments and for documentation.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+)
+
+// Options configure SVG rendering.
+type Options struct {
+	// Width is the SVG canvas width in pixels; height follows the data
+	// aspect ratio. Zero means 640.
+	Width int
+	// Margin is the canvas margin in pixels. Zero means 24.
+	Margin int
+	// ShowLabels draws point and worker IDs.
+	ShowLabels bool
+}
+
+// palette holds the route colors, cycled per worker.
+var palette = []string{
+	"#1b6ca8", "#c0392b", "#27ae60", "#8e44ad", "#d35400",
+	"#16a085", "#7f8c8d", "#2c3e50", "#e67e22", "#2980b9",
+}
+
+// SVG writes the instance — and, when a is non-nil, its routes — as an SVG
+// document.
+func SVG(w io.Writer, in *model.Instance, a *model.Assignment, opt Options) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if a != nil {
+		if err := a.Validate(in); err != nil {
+			return err
+		}
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 640
+	}
+	margin := opt.Margin
+	if margin <= 0 {
+		margin = 24
+	}
+
+	pts := collectPoints(in)
+	box := geo.Bounds(pts)
+	if box.Width() == 0 {
+		box.Max.X += 1
+		box.Min.X -= 1
+	}
+	if box.Height() == 0 {
+		box.Max.Y += 1
+		box.Min.Y -= 1
+	}
+	inner := float64(width - 2*margin)
+	scale := inner / box.Width()
+	height := int(box.Height()*scale) + 2*margin
+
+	// Project model coordinates to canvas pixels (SVG y grows downward).
+	px := func(p geo.Point) (float64, float64) {
+		x := float64(margin) + (p.X-box.Min.X)*scale
+		y := float64(height-margin) - (p.Y-box.Min.Y)*scale
+		return x, y
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fcfcf8"/>` + "\n")
+
+	// Routes first, under the markers.
+	if a != nil {
+		for wi, route := range a.Routes {
+			if len(route) == 0 {
+				continue
+			}
+			color := palette[wi%len(palette)]
+			var path strings.Builder
+			x, y := px(in.Workers[wi].Loc)
+			fmt.Fprintf(&path, "M%.1f,%.1f", x, y)
+			x, y = px(in.Center)
+			fmt.Fprintf(&path, " L%.1f,%.1f", x, y)
+			for _, p := range route {
+				x, y = px(in.Points[p].Loc)
+				fmt.Fprintf(&path, " L%.1f,%.1f", x, y)
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6" stroke-opacity="0.85"/>`+"\n",
+				path.String(), color)
+		}
+	}
+
+	// Delivery points: circles with radius scaled by task count.
+	for i := range in.Points {
+		dp := &in.Points[i]
+		x, y := px(dp.Loc)
+		r := 3 + 1.5*math.Sqrt(float64(len(dp.Tasks)))
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#b8b8b0" stroke="#666" stroke-width="0.6"/>`+"\n",
+			x, y, r)
+		if opt.ShowLabels {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="#333">dp%d</text>`+"\n",
+				x+r+2, y+3, dp.ID)
+		}
+	}
+
+	// Workers: triangles in their route color.
+	for wi := range in.Workers {
+		x, y := px(in.Workers[wi].Loc)
+		color := palette[wi%len(palette)]
+		fmt.Fprintf(&b, `<path d="M%.1f,%.1f l-5,9 l10,0 z" fill="%s"/>`+"\n",
+			x, y-5, color)
+		if opt.ShowLabels {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s">w%d</text>`+"\n",
+				x+7, y+3, color, in.Workers[wi].ID)
+		}
+	}
+
+	// Distribution center: a filled square.
+	cx, cy := px(in.Center)
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="#222"/>`+"\n",
+		cx-6, cy-6)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#222">dc</text>`+"\n",
+		cx+9, cy+4)
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// collectPoints gathers every drawable location for bounding-box purposes.
+func collectPoints(in *model.Instance) []geo.Point {
+	pts := []geo.Point{in.Center}
+	for i := range in.Points {
+		pts = append(pts, in.Points[i].Loc)
+	}
+	for i := range in.Workers {
+		pts = append(pts, in.Workers[i].Loc)
+	}
+	return pts
+}

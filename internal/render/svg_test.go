@@ -1,0 +1,142 @@
+package render
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairtask/internal/dataset"
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/travel"
+)
+
+func renderInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	in, err := dataset.GenerateGM(dataset.GMConfig{
+		Seed: 1, Tasks: 40, Workers: 4, DeliveryPoints: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSVGInstanceOnly(t *testing.T) {
+	in := renderInstance(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	if strings.Count(out, "<circle") != len(in.Points) {
+		t.Errorf("circles = %d, want %d delivery points",
+			strings.Count(out, "<circle"), len(in.Points))
+	}
+	// One triangle path per worker, no route paths.
+	if got := strings.Count(out, "<path"); got != len(in.Workers) {
+		t.Errorf("paths = %d, want %d worker markers", got, len(in.Workers))
+	}
+	if !strings.Contains(out, ">dc</text>") {
+		t.Error("distribution center label missing")
+	}
+}
+
+func TestSVGWithRoutes(t *testing.T) {
+	in := renderInstance(t)
+	a := model.NewAssignment(len(in.Workers))
+	for pt := range in.Points {
+		if in.RouteFeasible(0, model.Route{pt}) {
+			a.Routes[0] = model.Route{pt}
+			break
+		}
+	}
+	if len(a.Routes[0]) == 0 {
+		t.Skip("no feasible singleton")
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, a, Options{ShowLabels: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Worker markers + one route polyline.
+	if got := strings.Count(out, "<path"); got != len(in.Workers)+1 {
+		t.Errorf("paths = %d, want %d", got, len(in.Workers)+1)
+	}
+	if !strings.Contains(out, "dp0") || !strings.Contains(out, "w0") {
+		t.Error("labels missing despite ShowLabels")
+	}
+}
+
+func TestSVGRejectsInvalid(t *testing.T) {
+	in := renderInstance(t)
+	bad := model.NewAssignment(len(in.Workers))
+	bad.Routes[0] = model.Route{999}
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, bad, Options{}); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+	in.Workers[0].MaxDP = -1
+	if err := SVG(&buf, in, nil, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestSVGDegenerateGeometry(t *testing.T) {
+	// All entities at one point: bounding box is degenerate but rendering
+	// must still succeed.
+	in := renderInstance(t)
+	for i := range in.Points {
+		in.Points[i].Loc = in.Center
+	}
+	for i := range in.Workers {
+		in.Workers[i].Loc = in.Center
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, nil, Options{Width: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="200"`) {
+		t.Error("custom width not honored")
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSVGGolden pins the exact SVG output for a fixed tiny scene.
+func TestSVGGolden(t *testing.T) {
+	in := &model.Instance{
+		Center: geo.Pt(1, 1),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+		Points: []model.DeliveryPoint{
+			{ID: 0, Loc: geo.Pt(0, 0), Tasks: []model.Task{{ID: 0, Point: 0, Expiry: 10, Reward: 1}}},
+			{ID: 1, Loc: geo.Pt(2, 2), Tasks: []model.Task{{ID: 1, Point: 1, Expiry: 10, Reward: 1}}},
+		},
+		Workers: []model.Worker{{ID: 0, Loc: geo.Pt(0, 2)}},
+	}
+	a := model.NewAssignment(1)
+	a.Routes[0] = model.Route{0, 1}
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, a, Options{Width: 200, ShowLabels: true}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tiny.golden.svg")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("SVG output changed; run with -update if intended")
+	}
+}

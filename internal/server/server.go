@@ -1,0 +1,177 @@
+// Package server exposes the assignment engine over HTTP, so an SC platform
+// can call fairtask as a sidecar service: POST a problem in the library's
+// CSV schema and receive the assignment and its fairness metrics as JSON.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fairtask/internal/assign"
+	"fairtask/internal/dataset"
+	"fairtask/internal/payoff"
+	"fairtask/internal/platform"
+	"fairtask/internal/vdps"
+)
+
+// Factory builds an assigner for an algorithm name and seed, or returns an
+// error for unknown names. The root package supplies one wrapping
+// fairtask.NewAssigner, so the service supports the same algorithm set as
+// the library.
+type Factory func(algorithm string, seed int64) (assign.Assigner, error)
+
+// Handler is the HTTP API. Routes:
+//
+//	GET  /healthz           -> 200 "ok"
+//	POST /solve?alg=FGT&eps=2&seed=1&parallel=4
+//	     body: problem CSV  -> JSON SolveResponse
+type Handler struct {
+	factory Factory
+	mux     *http.ServeMux
+	// MaxBodyBytes bounds request bodies; zero means 32 MiB.
+	MaxBodyBytes int64
+}
+
+// New builds the handler around a solver factory.
+func New(factory Factory) *Handler {
+	h := &Handler{factory: factory, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/solve", h.solve)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// WorkerRoute is one worker's route in a SolveResponse. Points carries
+// delivery point IDs in visiting order.
+type WorkerRoute struct {
+	Center int     `json:"center"`
+	Worker int     `json:"worker"`
+	Points []int   `json:"points"`
+	Payoff float64 `json:"payoff"`
+}
+
+// SolveResponse is the JSON result of POST /solve.
+type SolveResponse struct {
+	Algorithm  string        `json:"algorithm"`
+	Workers    int           `json:"workers"`
+	Difference float64       `json:"payoff_difference"`
+	Average    float64       `json:"average_payoff"`
+	Gini       float64       `json:"gini"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Routes     []WorkerRoute `json:"routes"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST a problem CSV to /solve")
+		return
+	}
+	maxBody := h.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+
+	q := r.URL.Query()
+	alg := q.Get("alg")
+	if alg == "" {
+		alg = "FGT"
+	}
+	seed := int64(1)
+	if s := q.Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+		seed = v
+	}
+	eps := math.Inf(1)
+	if s := q.Get("eps"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			errorJSON(w, http.StatusBadRequest, "bad eps")
+			return
+		}
+		eps = v
+	}
+	par := 0
+	if s := q.Get("parallel"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			errorJSON(w, http.StatusBadRequest, "bad parallel")
+			return
+		}
+		par = v
+	}
+
+	prob, err := dataset.ReadCSV(r.Body)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad problem CSV: "+err.Error())
+		return
+	}
+	solver, err := h.factory(alg, seed)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	start := time.Now()
+	res, err := platform.AssignContext(r.Context(), prob, solver, platform.Options{
+		VDPS:        vdps.Options{Epsilon: eps},
+		Parallelism: par,
+	})
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, "solve failed: "+err.Error())
+		return
+	}
+
+	resp := SolveResponse{
+		Algorithm:  solver.Name(),
+		Workers:    len(res.Payoffs),
+		Difference: res.Difference,
+		Average:    res.Average,
+		Gini:       payoff.Gini(res.Payoffs),
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, pc := range res.PerCenter {
+		in := &prob.Instances[i]
+		for wi, route := range pc.Assignment.Routes {
+			if len(route) == 0 {
+				continue
+			}
+			ids := make([]int, len(route))
+			for k, p := range route {
+				ids[k] = in.Points[p].ID
+			}
+			resp.Routes = append(resp.Routes, WorkerRoute{
+				Center: in.CenterID,
+				Worker: in.Workers[wi].ID,
+				Points: ids,
+				Payoff: pc.Summary.Payoffs[wi],
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

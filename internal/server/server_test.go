@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fairtask/internal/assign"
+	"fairtask/internal/dataset"
+)
+
+func testFactory(algorithm string, seed int64) (assign.Assigner, error) {
+	switch algorithm {
+	case "GTA":
+		return assign.GTA{}, nil
+	case "MMTA":
+		return assign.MMTA{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+}
+
+func problemCSV(t *testing.T) []byte {
+	t.Helper()
+	p, err := dataset.GenerateSYN(dataset.SYNConfig{
+		Seed: 1, Centers: 2, Tasks: 40, Workers: 8, DeliveryPoints: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+	body := problemCSV(t)
+
+	resp, err := http.Post(srv.URL+"/solve?alg=GTA&eps=2&seed=3", "text/csv",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "GTA" {
+		t.Errorf("algorithm = %q", out.Algorithm)
+	}
+	if out.Workers != 8 {
+		t.Errorf("workers = %d, want 8", out.Workers)
+	}
+	if out.Difference < 0 || out.Gini < 0 || out.Gini > 1 {
+		t.Errorf("metrics out of range: %+v", out)
+	}
+	if len(out.Routes) == 0 {
+		t.Error("no routes returned")
+	}
+	for _, r := range out.Routes {
+		if len(r.Points) == 0 {
+			t.Error("route without points")
+		}
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+	body := problemCSV(t)
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   string
+		want   int
+	}{
+		{"wrong method", http.MethodGet, "/solve", "", http.StatusMethodNotAllowed},
+		{"garbage body", http.MethodPost, "/solve", "not,a,problem", http.StatusBadRequest},
+		{"unknown alg", http.MethodPost, "/solve?alg=XXX", string(body), http.StatusBadRequest},
+		{"bad seed", http.MethodPost, "/solve?seed=abc", string(body), http.StatusBadRequest},
+		{"bad eps", http.MethodPost, "/solve?eps=-1", string(body), http.StatusBadRequest},
+		{"bad parallel", http.MethodPost, "/solve?parallel=-2", string(body), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.url, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestSolveBodyLimit(t *testing.T) {
+	h := New(testFactory)
+	h.MaxBodyBytes = 64 // far below the problem size
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "text/csv", bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("oversized body accepted")
+	}
+}

@@ -1,0 +1,64 @@
+// Package travel converts distances into travel times.
+//
+// The paper assumes workers move at a constant speed (5 km/h in the
+// experiments); travel time between two locations is distance divided by
+// speed under a chosen distance metric.
+package travel
+
+import (
+	"errors"
+	"fmt"
+
+	"fairtask/internal/geo"
+)
+
+// ErrBadSpeed is returned by NewModel for non-positive speeds.
+var ErrBadSpeed = errors.New("travel: speed must be positive")
+
+// Model computes travel time and distance between locations.
+// The zero Model is not usable; construct one with NewModel.
+type Model struct {
+	metric geo.Metric
+	speed  float64
+}
+
+// NewModel returns a travel model over the given metric at the given constant
+// speed. Speed units are distance-units per time-unit (the experiments use
+// km and hours). A nil metric defaults to Euclidean.
+func NewModel(metric geo.Metric, speed float64) (Model, error) {
+	if speed <= 0 {
+		return Model{}, fmt.Errorf("%w: %g", ErrBadSpeed, speed)
+	}
+	if metric == nil {
+		metric = geo.Euclidean{}
+	}
+	return Model{metric: metric, speed: speed}, nil
+}
+
+// MustModel is NewModel that panics on error, for tests and literals.
+func MustModel(metric geo.Metric, speed float64) Model {
+	m, err := NewModel(metric, speed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Speed returns the model's constant speed.
+func (m Model) Speed() float64 { return m.speed }
+
+// Metric returns the model's distance metric.
+func (m Model) Metric() geo.Metric { return m.metric }
+
+// Distance returns the travel distance between a and b.
+func (m Model) Distance(a, b geo.Point) float64 {
+	return m.metric.Distance(a, b)
+}
+
+// Time returns the travel time between a and b (the paper's c(a, b)).
+func (m Model) Time(a, b geo.Point) float64 {
+	return m.metric.Distance(a, b) / m.speed
+}
+
+// Valid reports whether the model was constructed via NewModel.
+func (m Model) Valid() bool { return m.speed > 0 && m.metric != nil }

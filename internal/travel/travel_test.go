@@ -1,0 +1,75 @@
+package travel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairtask/internal/geo"
+)
+
+func TestNewModelRejectsBadSpeed(t *testing.T) {
+	for _, speed := range []float64{0, -1, -0.001} {
+		if _, err := NewModel(geo.Euclidean{}, speed); !errors.Is(err, ErrBadSpeed) {
+			t.Errorf("speed %g: err = %v, want ErrBadSpeed", speed, err)
+		}
+	}
+}
+
+func TestNewModelDefaultsToEuclidean(t *testing.T) {
+	m, err := NewModel(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metric().Name() != "euclidean" {
+		t.Errorf("default metric = %q, want euclidean", m.Metric().Name())
+	}
+}
+
+func TestTimeScalesWithSpeed(t *testing.T) {
+	a, b := geo.Pt(0, 0), geo.Pt(3, 4)
+	slow := MustModel(geo.Euclidean{}, 1)
+	fast := MustModel(geo.Euclidean{}, 5)
+	if got := slow.Time(a, b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("slow.Time = %g, want 5", got)
+	}
+	if got := fast.Time(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("fast.Time = %g, want 1", got)
+	}
+	if got := fast.Distance(a, b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Distance = %g, want 5", got)
+	}
+}
+
+func TestMustModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustModel with bad speed did not panic")
+		}
+	}()
+	MustModel(nil, 0)
+}
+
+func TestValid(t *testing.T) {
+	var zero Model
+	if zero.Valid() {
+		t.Error("zero Model reported valid")
+	}
+	if !MustModel(nil, 2).Valid() {
+		t.Error("constructed Model reported invalid")
+	}
+}
+
+// Property: time is distance/speed for arbitrary finite points and speeds.
+func TestTimeDistanceConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by int16, s uint8) bool {
+		speed := float64(s%50) + 0.5
+		m := MustModel(geo.Euclidean{}, speed)
+		a, b := geo.Pt(float64(ax), float64(ay)), geo.Pt(float64(bx), float64(by))
+		return math.Abs(m.Time(a, b)*speed-m.Distance(a, b)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

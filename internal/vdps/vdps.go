@@ -1,0 +1,548 @@
+// Package vdps generates Valid Delivery Point Sets (paper §IV, Algorithm 1).
+//
+// A Center-origin VDPS (C-VDPS) is a set Q of delivery points for which a
+// visiting sequence starting at the distribution center exists that reaches
+// every point of Q before its earliest task expiration. The paper computes
+// these once per center with a subset dynamic program and then checks, for
+// each worker, whether the worker's approach time to the center still allows
+// the sequence to meet the deadlines.
+//
+// We implement the DP as a deadline-constrained Held-Karp: for each subset Q
+// and last point j we keep the Pareto frontier of (time, slack) states,
+// where time is the center-origin travel time of the sequence and
+// slack = min over the visited prefix of (dp.e - arrival(dp)). A worker with
+// approach time a can use a state iff a <= slack, so per-worker validity is a
+// frontier scan rather than a re-run of the DP. This subsumes the paper's
+// "record only the minimal-travel-time sequence" rule (the min-time state is
+// always on the frontier) while also retaining slower-but-slacker sequences
+// that remain feasible for distant workers.
+//
+// The distance-constrained pruning strategy (threshold ε) discards DP
+// extensions whose leg between consecutive delivery points exceeds ε,
+// exactly as in §IV.
+package vdps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fairtask/internal/bitset"
+	"fairtask/internal/geo"
+	"fairtask/internal/grid"
+	"fairtask/internal/model"
+)
+
+// Options configure generation.
+type Options struct {
+	// Epsilon is the distance-constrained pruning threshold in distance
+	// units (km). Zero or +Inf disables pruning (the paper's "-W" variants).
+	Epsilon float64
+	// MaxSize caps the size of generated sets. Zero derives the cap from the
+	// instance's workers: max over w.MaxDP, treating MaxDP == 0 (unlimited)
+	// as the number of delivery points.
+	MaxSize int
+	// MaxSets aborts generation when more than this many C-VDPSs would be
+	// produced, protecting against exponential blow-ups on dense instances.
+	// Zero means no limit.
+	MaxSets int
+	// DisableIndex turns off the spatial grid index used to enumerate
+	// ε-neighbors during DP extensions, falling back to a full scan per
+	// state. Only useful for the indexing ablation benchmark.
+	DisableIndex bool
+	// Parallel shards each DP level over this many goroutines. Values
+	// below 2 keep the sequential path. Results are identical either way.
+	Parallel int
+}
+
+// ErrTooManySets is returned when Options.MaxSets is exceeded.
+var ErrTooManySets = errors.New("vdps: candidate set limit exceeded")
+
+// State is one Pareto-optimal sequence for a candidate set: Seq is the
+// center-origin visiting order, Time its center-origin travel time (arrival
+// at the last point), and Slack the minimum over the sequence prefix of
+// (point expiry - arrival). A worker with approach time a can execute Seq
+// within all deadlines iff a <= Slack.
+type State struct {
+	Seq   model.Route
+	Time  float64
+	Slack float64
+}
+
+// Candidate is one C-VDPS: a set of delivery points with its Pareto frontier
+// of feasible sequences and cached aggregate reward.
+type Candidate struct {
+	// Points holds the set's delivery point indices in ascending order.
+	Points []int
+	// Mask is the same set as a bit set, for O(1) disjointness tests.
+	Mask bitset.Set
+	// Frontier holds the non-dominated (Time, Slack) states, sorted by
+	// ascending Time (hence descending Slack).
+	Frontier []State
+	// Reward is the total reward of all tasks on the set's points.
+	Reward float64
+}
+
+// MinTime returns the minimal center-origin travel time over the frontier.
+func (c *Candidate) MinTime() float64 { return c.Frontier[0].Time }
+
+// MaxSlack returns the maximal slack over the frontier, i.e. the largest
+// worker approach time for which the candidate remains valid.
+func (c *Candidate) MaxSlack() float64 {
+	return c.Frontier[len(c.Frontier)-1].Slack
+}
+
+// BestFor returns the minimal-time state usable by a worker with the given
+// approach time, or ok == false when no state fits.
+func (c *Candidate) BestFor(approach float64) (State, bool) {
+	// Frontier is sorted by ascending time and descending slack; the first
+	// state with Slack >= approach is the fastest usable one.
+	for _, st := range c.Frontier {
+		if st.Slack >= approach {
+			return st, true
+		}
+	}
+	return State{}, false
+}
+
+// bestForScaled returns the candidate's minimal-time sequence that worker w
+// can execute within all deadlines at the worker's own speed, checked
+// exactly via the model (used when the worker overrides the default speed).
+func (c *Candidate) bestForScaled(in *model.Instance, w int) (State, bool) {
+	for _, st := range c.Frontier { // sorted by ascending center-origin time
+		if in.RouteFeasible(w, st.Seq) {
+			return st, true
+		}
+	}
+	return State{}, false
+}
+
+// Generator holds the generated candidates for one instance and answers
+// per-worker validity queries.
+type Generator struct {
+	inst       *model.Instance
+	opt        Options
+	candidates []Candidate
+	stats      Stats
+}
+
+// Stats reports the work performed during generation, used by the pruning
+// ablation experiments.
+type Stats struct {
+	// SubsetsExplored counts distinct (set, last) DP states created.
+	SubsetsExplored int
+	// ExtensionsPruned counts DP extensions discarded by the ε rule.
+	ExtensionsPruned int
+	// Candidates is the number of C-VDPSs produced.
+	Candidates int
+	// MaxSetSize is the size cap that was applied.
+	MaxSetSize int
+}
+
+// dpState is a node in the subset DP: a (set, last) pair with its Pareto
+// frontier of (time, slack, sequence) entries.
+type dpState struct {
+	set      bitset.Set
+	last     int
+	frontier []State
+}
+
+// Generate runs the C-VDPS dynamic program for the instance.
+func Generate(in *model.Instance, opt Options) (*Generator, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("vdps: %w", err)
+	}
+	maxSize := opt.MaxSize
+	if maxSize <= 0 {
+		maxSize = derivedMaxSize(in)
+	}
+	if maxSize > len(in.Points) {
+		maxSize = len(in.Points)
+	}
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = math.Inf(1)
+	}
+
+	g := &Generator{inst: in, opt: opt}
+	g.stats.MaxSetSize = maxSize
+
+	// Expiry and pairwise data reused across the DP.
+	n := len(in.Points)
+	expiry := make([]float64, n)
+	for i := range in.Points {
+		expiry[i] = in.Points[i].EarliestExpiry()
+	}
+
+	// With finite ε, precompute each point's ε-neighborhood with a spatial
+	// grid so DP extensions only enumerate reachable successors. The
+	// Euclidean-ball index is a superset filter for non-Euclidean metrics
+	// whose distance is >= Euclidean (e.g. Manhattan), so the per-leg check
+	// below remains the source of truth.
+	var neighbors [][]int
+	if !math.IsInf(eps, 1) && !opt.DisableIndex && n > 0 {
+		locs := make([]geo.Point, n)
+		for i := range in.Points {
+			locs[i] = in.Points[i].Loc
+		}
+		neighbors = grid.New(locs, eps).Neighborhoods(eps)
+	}
+
+	// Level 1: singleton sequences from the center.
+	level := make([]*dpState, 0, n)
+	byCand := map[string]*Candidate{}
+	for j := 0; j < n; j++ {
+		t := in.Travel.Time(in.Center, in.Points[j].Loc)
+		if t > expiry[j] {
+			continue
+		}
+		st := State{Seq: model.Route{j}, Time: t, Slack: expiry[j] - t}
+		ds := &dpState{set: bitset.Of(j), last: j, frontier: []State{st}}
+		level = append(level, ds)
+		g.stats.SubsetsExplored++
+		g.addCandidate(byCand, ds)
+	}
+
+	// Levels 2..maxSize: extend every frontier state with every unvisited
+	// point within ε of the current last point. With Options.Parallel > 1,
+	// the level is sharded over goroutines computing chunk-local maps that
+	// are merged in fixed chunk order, keeping results deterministic.
+	all := allPoints(n)
+	workers := opt.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		var next map[string]*dpState
+		if workers == 1 || len(level) < 2*workers {
+			var pruned int
+			next, pruned = expandChunk(g, level, all, neighbors, expiry, eps)
+			g.stats.ExtensionsPruned += pruned
+			for range next {
+				g.stats.SubsetsExplored++
+			}
+		} else {
+			next = g.expandParallel(level, all, neighbors, expiry, eps, workers)
+		}
+		level = level[:0]
+		for _, ds := range next {
+			level = append(level, ds)
+			g.addCandidate(byCand, ds)
+			if opt.MaxSets > 0 && len(byCand) > opt.MaxSets {
+				return nil, fmt.Errorf("%w: more than %d", ErrTooManySets, opt.MaxSets)
+			}
+		}
+	}
+
+	// Collect candidates deterministically: by size, then lexicographic set.
+	g.candidates = make([]Candidate, 0, len(byCand))
+	for _, c := range byCand {
+		sortFrontier(c.Frontier)
+		g.candidates = append(g.candidates, *c)
+	}
+	sort.Slice(g.candidates, func(i, j int) bool {
+		a, b := g.candidates[i].Points, g.candidates[j].Points
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	g.stats.Candidates = len(g.candidates)
+	return g, nil
+}
+
+// allPoints returns [0, n) as successor candidates; memoized per call site
+// would not help since the slice is shared and read-only.
+func allPoints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// derivedMaxSize returns the largest set size any worker may accept.
+func derivedMaxSize(in *model.Instance) int {
+	max := 0
+	for i := range in.Workers {
+		m := in.Workers[i].MaxDP
+		if m == 0 {
+			return len(in.Points)
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max == 0 {
+		// No workers: generate singletons only; nothing will consume more.
+		return 1
+	}
+	return max
+}
+
+func stateKey(set bitset.Set, last int) string {
+	return set.Key() + "#" + strconv.Itoa(last)
+}
+
+// insert adds st to the state's Pareto frontier, dropping dominated entries.
+// A state dominates another when it is no slower and no tighter.
+func (ds *dpState) insert(st State) {
+	for _, ex := range ds.frontier {
+		if ex.Time <= st.Time && ex.Slack >= st.Slack {
+			return // dominated by an existing state
+		}
+	}
+	kept := ds.frontier[:0]
+	for _, ex := range ds.frontier {
+		if !(st.Time <= ex.Time && st.Slack >= ex.Slack) {
+			kept = append(kept, ex)
+		}
+	}
+	ds.frontier = append(kept, st)
+}
+
+// addCandidate merges the dpState's frontier into the candidate for its set.
+func (g *Generator) addCandidate(byCand map[string]*Candidate, ds *dpState) {
+	key := ds.set.Key()
+	c := byCand[key]
+	if c == nil {
+		pts := ds.set.Values()
+		var reward float64
+		for _, p := range pts {
+			reward += g.inst.Points[p].TotalReward()
+		}
+		c = &Candidate{Points: pts, Mask: ds.set.Clone(), Reward: reward}
+		byCand[key] = c
+	}
+	for _, st := range ds.frontier {
+		c.Frontier = mergeFrontier(c.Frontier, st)
+	}
+}
+
+// mergeFrontier inserts st into a candidate-level frontier with dominance.
+func mergeFrontier(frontier []State, st State) []State {
+	for _, ex := range frontier {
+		if ex.Time <= st.Time && ex.Slack >= st.Slack {
+			return frontier
+		}
+	}
+	kept := frontier[:0]
+	for _, ex := range frontier {
+		if !(st.Time <= ex.Time && st.Slack >= ex.Slack) {
+			kept = append(kept, ex)
+		}
+	}
+	return append(kept, st)
+}
+
+func sortFrontier(f []State) {
+	sort.Slice(f, func(i, j int) bool { return f[i].Time < f[j].Time })
+}
+
+// Candidates returns all generated C-VDPSs. The slice is shared; callers
+// must not modify it.
+func (g *Generator) Candidates() []Candidate { return g.candidates }
+
+// Stats returns generation statistics.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Instance returns the instance the generator was built for.
+func (g *Generator) Instance() *model.Instance { return g.inst }
+
+// WorkerVDPS is one strategy available to a specific worker: a candidate set
+// together with the fastest sequence the worker can execute and the derived
+// payoff (Definition 7).
+type WorkerVDPS struct {
+	// Candidate indexes Generator.Candidates().
+	Candidate int
+	// Seq is the worker's visiting order (center-origin).
+	Seq model.Route
+	// Time is the worker's total travel time: approach + center-origin time.
+	Time float64
+	// Reward is the total reward of the set's tasks.
+	Reward float64
+	// Payoff is Reward / Time.
+	Payoff float64
+}
+
+// ForWorker returns the strategies valid for worker index w: every candidate
+// whose size respects the worker's maxDP and whose frontier contains a
+// sequence the worker can complete within all deadlines. Strategies are
+// ordered by descending payoff.
+//
+// For workers using the instance's default speed the check is exact and
+// O(frontier) via the slack trick. For workers with a speed override the
+// frontier sequences are re-checked exactly at the worker's speed; note the
+// frontier keeps only sequences Pareto-optimal at the default speed, so in
+// rare geometries a heterogeneous-speed worker may miss a sequence that is
+// feasible only for its speed (every returned strategy is still exactly
+// feasible — the approximation can only under-report options).
+func (g *Generator) ForWorker(w int) []WorkerVDPS {
+	approach := g.inst.ApproachTime(w)
+	maxDP := g.inst.Workers[w].MaxDP
+	factor := g.inst.SpeedFactor(w)
+	var out []WorkerVDPS
+	for ci := range g.candidates {
+		c := &g.candidates[ci]
+		if maxDP > 0 && len(c.Points) > maxDP {
+			continue
+		}
+		var st State
+		var ok bool
+		if factor == 1 {
+			st, ok = c.BestFor(approach)
+		} else {
+			// Heterogeneous speed: the slack shortcut does not apply (every
+			// center-origin leg scales by the worker's speed factor), so
+			// re-check each frontier sequence exactly. Frontiers are tiny.
+			st, ok = c.bestForScaled(g.inst, w)
+		}
+		if !ok {
+			continue
+		}
+		total := approach + factor*st.Time
+		if total <= 0 {
+			// A worker standing at the center with a zero-length route
+			// cannot happen (routes are non-empty and distinct points), but
+			// guard against degenerate geometry producing zero travel time.
+			continue
+		}
+		out = append(out, WorkerVDPS{
+			Candidate: ci,
+			Seq:       st.Seq,
+			Time:      total,
+			Reward:    c.Reward,
+			Payoff:    c.Reward / total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Payoff != out[j].Payoff {
+			return out[i].Payoff > out[j].Payoff
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+	return out
+}
+
+// expandChunk computes the next-level states generated by the given slice
+// of current-level states. It returns the chunk-local (set, last) map and
+// the number of ε-pruned extensions. Stats are left to the caller so the
+// function is safe to run concurrently.
+func expandChunk(g *Generator, chunk []*dpState, all []int,
+	neighbors [][]int, expiry []float64, eps float64) (map[string]*dpState, int) {
+	in := g.inst
+	n := len(in.Points)
+	next := map[string]*dpState{}
+	var pruned int
+	for _, ds := range chunk {
+		lastLoc := in.Points[ds.last].Loc
+		succ := all
+		if neighbors != nil {
+			succ = neighbors[ds.last]
+			// Extensions never enumerated thanks to the index still count
+			// as pruned, keeping the stat comparable to the full scan.
+			pruned += n - len(succ)
+		}
+		for _, q := range succ {
+			if ds.set.Has(q) {
+				continue
+			}
+			leg := in.Travel.Distance(lastLoc, in.Points[q].Loc)
+			if leg > eps {
+				pruned++
+				continue
+			}
+			legTime := in.Travel.Time(lastLoc, in.Points[q].Loc)
+			for _, st := range ds.frontier {
+				nt := st.Time + legTime
+				if nt > expiry[q] {
+					continue
+				}
+				slack := st.Slack
+				if s := expiry[q] - nt; s < slack {
+					slack = s
+				}
+				newSet := ds.set.Clone().With(q)
+				key := stateKey(newSet, q)
+				tgt := next[key]
+				if tgt == nil {
+					tgt = &dpState{set: newSet, last: q}
+					next[key] = tgt
+				}
+				seq := append(st.Seq.Clone(), q)
+				tgt.insert(State{Seq: seq, Time: nt, Slack: slack})
+			}
+		}
+	}
+	return next, pruned
+}
+
+// expandParallel shards the level across the given number of goroutines and
+// merges the chunk-local maps in fixed chunk order. Ties between states with
+// identical (time, slack) keep the lower chunk's sequence, so the merged
+// result equals the sequential computation.
+func (g *Generator) expandParallel(level []*dpState, all []int,
+	neighbors [][]int, expiry []float64, eps float64, workers int) map[string]*dpState {
+	chunkSize := (len(level) + workers - 1) / workers
+	type part struct {
+		next   map[string]*dpState
+		pruned int
+	}
+	parts := make([]part, 0, workers)
+	for start := 0; start < len(level); start += chunkSize {
+		end := start + chunkSize
+		if end > len(level) {
+			end = len(level)
+		}
+		parts = append(parts, part{})
+		_ = level[start:end]
+	}
+	var wg sync.WaitGroup
+	idx := 0
+	for start := 0; start < len(level); start += chunkSize {
+		end := start + chunkSize
+		if end > len(level) {
+			end = len(level)
+		}
+		wg.Add(1)
+		go func(i int, chunk []*dpState) {
+			defer wg.Done()
+			parts[i].next, parts[i].pruned = expandChunk(g, chunk, all, neighbors, expiry, eps)
+		}(idx, level[start:end])
+		idx++
+	}
+	wg.Wait()
+
+	merged := map[string]*dpState{}
+	for _, p := range parts {
+		g.stats.ExtensionsPruned += p.pruned
+		// Deterministic cross-chunk merge: iterate the chunk's states via a
+		// sorted key list so frontier tie-breaking is stable.
+		keys := make([]string, 0, len(p.next))
+		for k := range p.next {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			src := p.next[k]
+			tgt := merged[k]
+			if tgt == nil {
+				merged[k] = src
+				g.stats.SubsetsExplored++
+				continue
+			}
+			for _, st := range src.frontier {
+				tgt.insert(st)
+			}
+		}
+	}
+	return merged
+}

@@ -1,0 +1,632 @@
+package vdps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/travel"
+)
+
+// lineInstance places nPoints delivery points at x = 1..n on the x axis,
+// center at the origin, one worker at (-1, 0), unit speed, one unit-reward
+// task per point with the given expiry.
+func lineInstance(nPoints int, expiry float64, maxDP int) *model.Instance {
+	in := &model.Instance{
+		Center: geo.Pt(0, 0),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+	}
+	for i := 0; i < nPoints; i++ {
+		in.Points = append(in.Points, model.DeliveryPoint{
+			ID:  i,
+			Loc: geo.Pt(float64(i+1), 0),
+			Tasks: []model.Task{
+				{ID: i, Point: i, Expiry: expiry, Reward: 1},
+			},
+		})
+	}
+	in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(-1, 0), MaxDP: maxDP}}
+	return in
+}
+
+func TestGenerateSingletons(t *testing.T) {
+	in := lineInstance(3, 100, 1)
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxDP 1 -> only singleton sets.
+	if got := len(g.Candidates()); got != 3 {
+		t.Fatalf("candidates = %d, want 3", got)
+	}
+	for _, c := range g.Candidates() {
+		if len(c.Points) != 1 {
+			t.Errorf("candidate %v has size %d, want 1", c.Points, len(c.Points))
+		}
+		if len(c.Frontier) != 1 {
+			t.Errorf("singleton frontier size = %d", len(c.Frontier))
+		}
+	}
+	// Point at x=2: time 2, slack 98.
+	c := g.Candidates()[1]
+	if c.Points[0] != 1 {
+		t.Fatalf("unexpected ordering: %v", c.Points)
+	}
+	if math.Abs(c.MinTime()-2) > 1e-9 || math.Abs(c.MaxSlack()-98) > 1e-9 {
+		t.Errorf("time/slack = %g/%g, want 2/98", c.MinTime(), c.MaxSlack())
+	}
+}
+
+func TestGenerateRespectsDeadlines(t *testing.T) {
+	// Expiry 2.5: singleton x=3 unreachable (arrival 3 from center).
+	in := lineInstance(3, 2.5, 3)
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Candidates() {
+		for _, p := range c.Points {
+			if p == 2 {
+				t.Errorf("candidate %v contains unreachable point 2", c.Points)
+			}
+		}
+	}
+	// {0,1} must be present (arrivals 1, 2 <= 2.5).
+	found := false
+	for _, c := range g.Candidates() {
+		if len(c.Points) == 2 && c.Points[0] == 0 && c.Points[1] == 1 {
+			found = true
+			// Optimal order visits x=1 then x=2: time 2.
+			if math.Abs(c.MinTime()-2) > 1e-9 {
+				t.Errorf("{0,1} min time = %g, want 2", c.MinTime())
+			}
+		}
+	}
+	if !found {
+		t.Error("feasible pair {0,1} not generated")
+	}
+}
+
+func TestGenerateFullLine(t *testing.T) {
+	in := lineInstance(4, 100, 0) // unlimited maxDP
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 2^4-1 = 15 non-empty subsets are feasible with a loose deadline.
+	if got := len(g.Candidates()); got != 15 {
+		t.Fatalf("candidates = %d, want 15", got)
+	}
+	// The full set's min time is a shortest feasible path; visiting in order
+	// 1,2,3,4 gives 4.
+	last := g.Candidates()[len(g.Candidates())-1]
+	if len(last.Points) != 4 {
+		t.Fatalf("last candidate size = %d", len(last.Points))
+	}
+	if math.Abs(last.MinTime()-4) > 1e-9 {
+		t.Errorf("full-set min time = %g, want 4", last.MinTime())
+	}
+}
+
+func TestEpsilonPruning(t *testing.T) {
+	// Points at x = 1, 2, 10: the leg 2->10 (8 km) exceeds eps=2, so sets
+	// containing both 'near' and 'far' points cannot be built, but the far
+	// singleton remains (center legs are not pruned, matching Algorithm 1's
+	// |Q| = 1 base case).
+	in := &model.Instance{
+		Center: geo.Pt(0, 0),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+	}
+	for i, x := range []float64{1, 2, 10} {
+		in.Points = append(in.Points, model.DeliveryPoint{
+			ID: i, Loc: geo.Pt(x, 0),
+			Tasks: []model.Task{{ID: i, Point: i, Expiry: 100, Reward: 1}},
+		})
+	}
+	in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(0, 0), MaxDP: 0}}
+
+	g, err := Generate(in, Options{Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Candidates() {
+		if len(c.Points) > 1 && c.Mask.Has(2) {
+			t.Errorf("pruned generation produced %v containing the far point", c.Points)
+		}
+	}
+	hasFarSingleton := false
+	for _, c := range g.Candidates() {
+		if len(c.Points) == 1 && c.Points[0] == 2 {
+			hasFarSingleton = true
+		}
+	}
+	if !hasFarSingleton {
+		t.Error("far singleton should survive pruning")
+	}
+	if g.Stats().ExtensionsPruned == 0 {
+		t.Error("expected pruned extensions to be counted")
+	}
+
+	// Without pruning, the mixed sets exist.
+	gw, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw.Candidates()) <= len(g.Candidates()) {
+		t.Errorf("unpruned candidates (%d) should exceed pruned (%d)",
+			len(gw.Candidates()), len(g.Candidates()))
+	}
+}
+
+func TestMaxSetsLimit(t *testing.T) {
+	in := lineInstance(6, 100, 0)
+	if _, err := Generate(in, Options{MaxSets: 5}); err == nil {
+		t.Error("expected ErrTooManySets")
+	}
+}
+
+func TestGenerateRejectsInvalidInstance(t *testing.T) {
+	in := lineInstance(2, 100, 1)
+	in.Workers[0].MaxDP = -1
+	if _, err := Generate(in, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestForWorker(t *testing.T) {
+	in := lineInstance(3, 100, 2)
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := g.ForWorker(0)
+	if len(ws) == 0 {
+		t.Fatal("worker has no strategies")
+	}
+	// Ordered by descending payoff.
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Payoff > ws[i-1].Payoff+1e-12 {
+			t.Errorf("strategies not sorted: %g before %g", ws[i-1].Payoff, ws[i].Payoff)
+		}
+	}
+	// maxDP = 2: no strategy with 3 points.
+	for _, s := range ws {
+		if len(s.Seq) > 2 {
+			t.Errorf("strategy %v exceeds maxDP", s.Seq)
+		}
+		// Payoff consistency.
+		if math.Abs(s.Payoff-s.Reward/s.Time) > 1e-9 {
+			t.Errorf("payoff inconsistent: %g vs %g", s.Payoff, s.Reward/s.Time)
+		}
+		// Every strategy must be feasible for the worker.
+		if !in.RouteFeasible(0, s.Seq) {
+			t.Errorf("strategy %v infeasible for worker", s.Seq)
+		}
+	}
+	// Best strategy for the line with approach 1: {0,1} visited 1,2 ->
+	// reward 2 / time 3 = 0.667 beats {0} (1/2) and {0,1,2} excluded by maxDP.
+	best := ws[0]
+	if math.Abs(best.Payoff-2.0/3) > 1e-9 {
+		t.Errorf("best payoff = %g, want 2/3", best.Payoff)
+	}
+}
+
+func TestForWorkerApproachFiltering(t *testing.T) {
+	// Deadline 3: center-origin route to x=2 arrives at 2 (slack 1 at best).
+	// A worker 2 km from the center (approach 2) cannot use it; a worker at
+	// the center can.
+	in := lineInstance(2, 3, 0)
+	in.Workers = []model.Worker{
+		{ID: 0, Loc: geo.Pt(0, 0)},
+		{ID: 1, Loc: geo.Pt(-2, 0)},
+	}
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atCenter := g.ForWorker(0)
+	far := g.ForWorker(1)
+	if len(atCenter) <= len(far) {
+		t.Errorf("worker at center has %d strategies, far worker %d; want strictly more",
+			len(atCenter), len(far))
+	}
+	for _, s := range far {
+		if !in.RouteFeasible(1, s.Seq) {
+			t.Errorf("far worker given infeasible strategy %v", s.Seq)
+		}
+	}
+}
+
+// bruteCandidate enumerates all feasible center-origin sequences for subsets
+// up to maxSize by explicit permutation search and returns, per set key, the
+// best (minimal) time achievable for a given approach offset.
+func bruteBestTime(in *model.Instance, maxSize int, eps float64, approach float64) map[string]float64 {
+	n := len(in.Points)
+	if eps <= 0 {
+		eps = math.Inf(1)
+	}
+	best := map[string]float64{}
+	var rec func(seq []int, used map[int]bool, t float64, ok bool)
+	rec = func(seq []int, used map[int]bool, t float64, ok bool) {
+		if len(seq) > 0 && ok {
+			key := setKeyOf(seq)
+			if prev, exists := best[key]; !exists || t < prev {
+				best[key] = t
+			}
+		}
+		if len(seq) == maxSize {
+			return
+		}
+		for q := 0; q < n; q++ {
+			if used[q] {
+				continue
+			}
+			var legT float64
+			pruned := false
+			if len(seq) == 0 {
+				legT = in.Travel.Time(in.Center, in.Points[q].Loc)
+			} else {
+				lastLoc := in.Points[seq[len(seq)-1]].Loc
+				if in.Travel.Distance(lastLoc, in.Points[q].Loc) > eps {
+					pruned = true
+				}
+				legT = in.Travel.Time(lastLoc, in.Points[q].Loc)
+			}
+			if pruned {
+				continue
+			}
+			nt := t + legT
+			feasible := ok && approach+nt <= in.Points[q].EarliestExpiry()
+			used[q] = true
+			rec(append(seq, q), used, nt, feasible)
+			used[q] = false
+		}
+	}
+	rec(nil, map[int]bool{}, 0, true)
+	return best
+}
+
+func setKeyOf(seq []int) string {
+	present := make([]bool, 64)
+	for _, p := range seq {
+		present[p] = true
+	}
+	key := make([]byte, 64)
+	for i, b := range present {
+		if b {
+			key[i] = '1'
+		} else {
+			key[i] = '0'
+		}
+	}
+	return string(key)
+}
+
+// TestAgainstBruteForce cross-checks the DP against explicit permutation
+// enumeration on random instances, with and without pruning.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 points
+		in := &model.Instance{
+			Center: geo.Pt(5, 5),
+			Travel: travel.MustModel(geo.Euclidean{}, 1),
+		}
+		for i := 0; i < n; i++ {
+			in.Points = append(in.Points, model.DeliveryPoint{
+				ID:  i,
+				Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+				Tasks: []model.Task{{
+					ID: i, Point: i,
+					Expiry: 2 + rng.Float64()*10,
+					Reward: 1,
+				}},
+			})
+		}
+		in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10), MaxDP: 0}}
+		eps := math.Inf(1)
+		if trial%2 == 1 {
+			eps = 2 + rng.Float64()*4
+		}
+		maxSize := 3
+
+		g, err := Generate(in, Options{Epsilon: eps, MaxSize: maxSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approach := in.ApproachTime(0)
+		want := bruteBestTime(in, maxSize, eps, approach)
+
+		got := map[string]float64{}
+		for _, s := range g.ForWorker(0) {
+			got[setKeyOf(s.Seq)] = s.Time - approach
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: DP found %d worker-valid sets, brute force %d",
+				trial, len(got), len(want))
+		}
+		for key, wt := range want {
+			gt, ok := got[key]
+			if !ok {
+				t.Fatalf("trial %d: brute-force set %s missing from DP", trial, key)
+			}
+			if math.Abs(gt-wt) > 1e-9 {
+				t.Errorf("trial %d: set %s time %g (DP) vs %g (brute)", trial, key, gt, wt)
+			}
+		}
+	}
+}
+
+// TestFrontierInvariant checks every frontier is sorted and non-dominated.
+func TestFrontierInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	in := &model.Instance{
+		Center: geo.Pt(0, 0),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+	}
+	for i := 0; i < 6; i++ {
+		in.Points = append(in.Points, model.DeliveryPoint{
+			ID: i, Loc: geo.Pt(rng.Float64()*4-2, rng.Float64()*4-2),
+			Tasks: []model.Task{{ID: i, Point: i, Expiry: 1 + rng.Float64()*5, Reward: 1}},
+		})
+	}
+	in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(1, 1), MaxDP: 4}}
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Candidates() {
+		f := c.Frontier
+		if len(f) == 0 {
+			t.Fatalf("candidate %v has empty frontier", c.Points)
+		}
+		for i := 1; i < len(f); i++ {
+			if f[i].Time < f[i-1].Time {
+				t.Errorf("frontier not time-sorted for %v", c.Points)
+			}
+			if f[i].Slack <= f[i-1].Slack {
+				t.Errorf("frontier slacks not strictly increasing for %v", c.Points)
+			}
+		}
+		// Every frontier sequence visits exactly the candidate's set.
+		for _, st := range f {
+			if setKeyOf(st.Seq) != setKeyOf(c.Points) {
+				t.Errorf("sequence %v does not cover set %v", st.Seq, c.Points)
+			}
+		}
+	}
+}
+
+func TestBestFor(t *testing.T) {
+	c := Candidate{Frontier: []State{
+		{Time: 1, Slack: 0.5},
+		{Time: 2, Slack: 2},
+	}}
+	if st, ok := c.BestFor(0.3); !ok || st.Time != 1 {
+		t.Errorf("BestFor(0.3) = %+v, %v", st, ok)
+	}
+	if st, ok := c.BestFor(1); !ok || st.Time != 2 {
+		t.Errorf("BestFor(1) = %+v, %v", st, ok)
+	}
+	if _, ok := c.BestFor(3); ok {
+		t.Error("BestFor(3) should fail")
+	}
+}
+
+// TestIndexMatchesScan verifies the spatial-index extension path produces
+// exactly the same candidates (sets, times, slacks) as the full scan.
+func TestIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		in := &model.Instance{
+			Center: geo.Pt(5, 5),
+			Travel: travel.MustModel(geo.Euclidean{}, 1),
+		}
+		n := 8 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			in.Points = append(in.Points, model.DeliveryPoint{
+				ID:  i,
+				Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+				Tasks: []model.Task{{
+					ID: i, Point: i, Expiry: 3 + rng.Float64()*8, Reward: 1,
+				}},
+			})
+		}
+		in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(5, 5), MaxDP: 3}}
+		eps := 1 + rng.Float64()*4
+
+		indexed, err := Generate(in, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := Generate(in, Options{Epsilon: eps, DisableIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, cs := indexed.Candidates(), scanned.Candidates()
+		if len(ci) != len(cs) {
+			t.Fatalf("trial %d: %d candidates with index, %d without", trial, len(ci), len(cs))
+		}
+		for k := range ci {
+			if setKeyOf(ci[k].Points) != setKeyOf(cs[k].Points) {
+				t.Fatalf("trial %d: candidate %d set mismatch", trial, k)
+			}
+			if len(ci[k].Frontier) != len(cs[k].Frontier) {
+				t.Fatalf("trial %d: candidate %d frontier size mismatch", trial, k)
+			}
+			for f := range ci[k].Frontier {
+				a, b := ci[k].Frontier[f], cs[k].Frontier[f]
+				if math.Abs(a.Time-b.Time) > 1e-12 || math.Abs(a.Slack-b.Slack) > 1e-12 {
+					t.Fatalf("trial %d: frontier state mismatch: %+v vs %+v", trial, a, b)
+				}
+			}
+		}
+		if indexed.Stats().ExtensionsPruned != scanned.Stats().ExtensionsPruned {
+			t.Errorf("trial %d: pruned-extension stats differ: %d vs %d",
+				trial, indexed.Stats().ExtensionsPruned, scanned.Stats().ExtensionsPruned)
+		}
+	}
+}
+
+// TestForWorkerHeterogeneousSpeed checks workers with speed overrides: every
+// returned strategy is exactly feasible at the worker's speed, payoffs use
+// the scaled travel time, and a faster worker never has fewer strategies
+// than an identical slower one.
+func TestForWorkerHeterogeneousSpeed(t *testing.T) {
+	in := lineInstance(4, 6, 3)
+	in.Workers = []model.Worker{
+		{ID: 0, Loc: geo.Pt(-1, 0), MaxDP: 3},             // default speed 1
+		{ID: 1, Loc: geo.Pt(-1, 0), MaxDP: 3, Speed: 0.5}, // half speed
+		{ID: 2, Loc: geo.Pt(-1, 0), MaxDP: 3, Speed: 2},   // double speed
+	}
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := g.ForWorker(0)
+	slow := g.ForWorker(1)
+	fast := g.ForWorker(2)
+
+	if len(slow) > len(normal) || len(fast) < len(normal) {
+		t.Errorf("strategy counts: slow %d, normal %d, fast %d; want slow <= normal <= fast",
+			len(slow), len(normal), len(fast))
+	}
+	check := func(w int, ws []WorkerVDPS) {
+		for _, s := range ws {
+			if !in.RouteFeasible(w, s.Seq) {
+				t.Errorf("worker %d: strategy %v infeasible at its speed", w, s.Seq)
+			}
+			if math.Abs(s.Time-in.RouteTime(w, s.Seq)) > 1e-9 {
+				t.Errorf("worker %d: cached time %g != model time %g",
+					w, s.Time, in.RouteTime(w, s.Seq))
+			}
+			if math.Abs(s.Payoff-s.Reward/s.Time) > 1e-9 {
+				t.Errorf("worker %d: payoff inconsistent", w)
+			}
+		}
+	}
+	check(0, normal)
+	check(1, slow)
+	check(2, fast)
+
+	// A fast worker's payoff for the same set is strictly higher.
+	if len(fast) > 0 && len(normal) > 0 {
+		for _, fs := range fast {
+			for _, ns := range normal {
+				if fs.Candidate == ns.Candidate && fs.Payoff <= ns.Payoff {
+					t.Errorf("fast worker payoff %g not above normal %g for same set",
+						fs.Payoff, ns.Payoff)
+				}
+			}
+		}
+	}
+}
+
+// Property: with larger epsilon, the candidate set never shrinks, and every
+// pruned candidate also exists unpruned with the same minimal time.
+func TestPrunedSubsetOfUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 8; trial++ {
+		in := &model.Instance{
+			Center: geo.Pt(0, 0),
+			Travel: travel.MustModel(geo.Euclidean{}, 1),
+		}
+		n := 6 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			in.Points = append(in.Points, model.DeliveryPoint{
+				ID:  i,
+				Loc: geo.Pt(rng.Float64()*8-4, rng.Float64()*8-4),
+				Tasks: []model.Task{{
+					ID: i, Point: i, Expiry: 3 + rng.Float64()*6, Reward: 1,
+				}},
+			})
+		}
+		in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(0, 0), MaxDP: 3}}
+		eps := 1.5 + rng.Float64()*2
+
+		pruned, err := Generate(in, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, err := Generate(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pruned.Candidates()) > len(unpruned.Candidates()) {
+			t.Fatalf("trial %d: pruned %d > unpruned %d candidates",
+				trial, len(pruned.Candidates()), len(unpruned.Candidates()))
+		}
+		full := map[string]float64{}
+		for _, c := range unpruned.Candidates() {
+			full[c.Mask.Key()] = c.MinTime()
+		}
+		for _, c := range pruned.Candidates() {
+			ft, ok := full[c.Mask.Key()]
+			if !ok {
+				t.Fatalf("trial %d: pruned-only candidate %v", trial, c.Points)
+			}
+			// Pruning can only remove sequences, so the pruned min time is
+			// never better than the unpruned one.
+			if c.MinTime() < ft-1e-9 {
+				t.Fatalf("trial %d: pruned min time %g beats unpruned %g",
+					trial, c.MinTime(), ft)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential verifies sharded level expansion produces
+// exactly the sequential result (candidates, frontiers, stats).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 6; trial++ {
+		in := &model.Instance{
+			Center: geo.Pt(0, 0),
+			Travel: travel.MustModel(geo.Euclidean{}, 1),
+		}
+		n := 10 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			in.Points = append(in.Points, model.DeliveryPoint{
+				ID:  i,
+				Loc: geo.Pt(rng.Float64()*8-4, rng.Float64()*8-4),
+				Tasks: []model.Task{{
+					ID: i, Point: i, Expiry: 3 + rng.Float64()*6, Reward: 1,
+				}},
+			})
+		}
+		in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(0, 0), MaxDP: 3}}
+		eps := 1.5 + rng.Float64()*3
+
+		seq, err := Generate(in, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Generate(in, Options{Epsilon: eps, Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, cp := seq.Candidates(), par.Candidates()
+		if len(cs) != len(cp) {
+			t.Fatalf("trial %d: %d sequential vs %d parallel candidates", trial, len(cs), len(cp))
+		}
+		for i := range cs {
+			if setKeyOf(cs[i].Points) != setKeyOf(cp[i].Points) {
+				t.Fatalf("trial %d: candidate %d set mismatch", trial, i)
+			}
+			if len(cs[i].Frontier) != len(cp[i].Frontier) {
+				t.Fatalf("trial %d: candidate %d frontier size mismatch", trial, i)
+			}
+			for f := range cs[i].Frontier {
+				a, b := cs[i].Frontier[f], cp[i].Frontier[f]
+				if a.Time != b.Time || a.Slack != b.Slack {
+					t.Fatalf("trial %d: frontier mismatch %+v vs %+v", trial, a, b)
+				}
+			}
+		}
+		if seq.Stats() != par.Stats() {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, seq.Stats(), par.Stats())
+		}
+	}
+}
