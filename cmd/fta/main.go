@@ -4,9 +4,11 @@
 //
 //	fta gen   -dataset syn|gm -out problem.csv [size flags]
 //	fta assign -in problem.csv -alg MPTA|GTA|FGT|IEGT [-eps km] [-seed n]
+//	          [-trace-out trace.jsonl]
 //	fta sweep -fig fig2..fig12 [-scale n] [-gmscale n] [-seed n]
 //	fta sim   -in problem.csv -alg IEGT -epochs n [-dt hours]
 //	fta report -in problem.csv -alg FGT [-eps km]
+//	fta serve [-addr host:port] [-pprof] [-log-format text|json] [-log-level info]
 //
 // "fta sweep" regenerates the series behind every figure of the paper's
 // evaluation section; see EXPERIMENTS.md for the mapping.
@@ -16,9 +18,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -185,11 +190,12 @@ func loadProblem(path string) (*fairtask.Problem, error) {
 func cmdAssign(args []string) error {
 	fs := flag.NewFlagSet("assign", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "input problem CSV")
-		alg    = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
-		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
-		seed   = fs.Int64("seed", 1, "random seed for FGT/IEGT")
-		routes = fs.String("routes", "", "optional path for a per-stop route CSV export")
+		in       = fs.String("in", "", "input problem CSV")
+		alg      = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		eps      = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed     = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+		routes   = fs.String("routes", "", "optional path for a per-stop route CSV export")
+		traceOut = fs.String("trace-out", "", "write the per-iteration convergence trace as JSONL (FGT/IEGT)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -201,6 +207,7 @@ func cmdAssign(args []string) error {
 	opt := fairtask.Options{
 		Algorithm: fairtask.Algorithm(*alg),
 		Seed:      *seed,
+		Trace:     *traceOut != "",
 	}
 	if *eps > 0 {
 		opt.VDPS.Epsilon = *eps
@@ -210,6 +217,11 @@ func cmdAssign(args []string) error {
 	res, err := fairtask.SolveProblem(prob, opt)
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		if err := writeTraceJSONL(*traceOut, *alg, prob, res); err != nil {
+			return err
+		}
 	}
 	if *routes != "" {
 		assignments := make([]*fairtask.Assignment, len(res.PerCenter))
@@ -235,6 +247,32 @@ func cmdAssign(args []string) error {
 	fmt.Fprintf(tw, "average payoff\t%.4f\n", res.Average)
 	fmt.Fprintf(tw, "cpu time\t%s\n", res.Elapsed)
 	return tw.Flush()
+}
+
+// writeTraceJSONL exports every center's per-iteration convergence trace as
+// JSON Lines: one IterationStat per line, tagged with the center ID and
+// algorithm, ready for Figure-12-style convergence plots. Baselines without
+// iterative dynamics (GTA, MPTA, MMTA) produce an empty file.
+func writeTraceJSONL(path, alg string, prob *fairtask.Problem, res *fairtask.ProblemResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for i, r := range res.PerCenter {
+		for _, st := range r.Trace {
+			line := struct {
+				Center    int    `json:"center"`
+				Algorithm string `json:"algorithm"`
+				fairtask.IterationStat
+			}{prob.Instances[i].CenterID, alg, st}
+			if err := enc.Encode(line); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	return f.Close()
 }
 
 func cmdSweep(args []string) error {
@@ -532,30 +570,94 @@ func cmdRender(args []string) error {
 	})
 }
 
-// newServerHandler builds the HTTP handler over the library's full
-// algorithm set. Split out so tests can mount it on httptest servers.
-func newServerHandler() http.Handler {
-	return server.New(func(algorithm string, seed int64) (fairtask.Assigner, error) {
-		return fairtask.NewAssigner(fairtask.Options{
+// newServerHandler builds the fully instrumented HTTP handler over the
+// library's full algorithm set: solver telemetry flows into the handler's
+// metrics registry and requests are logged to logger (nil disables logging).
+// Split out so tests can mount it on httptest servers.
+func newServerHandler(logger *slog.Logger) *server.Handler {
+	// The factory closure runs per request, after rec is set below; the nil
+	// guard only covers the construction window.
+	var rec *fairtask.MetricsRecorder
+	h := server.New(func(algorithm string, seed int64) (fairtask.Assigner, error) {
+		opt := fairtask.Options{
 			Algorithm: fairtask.Algorithm(algorithm),
 			Seed:      seed,
-		})
+		}
+		if rec != nil {
+			opt.Recorder = rec
+		}
+		return fairtask.NewAssigner(opt)
 	})
+	rec = fairtask.NewMetricsRecorder(h.Registry)
+	h.Recorder = rec
+	h.Logger = logger
+	return h
+}
+
+// newLogger builds a slog.Logger writing to w in the given format ("text"
+// or "json") at the given minimum level ("debug", "info", "warn", "error").
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// mountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/, mirroring the package's DefaultServeMux registrations.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:8732", "listen address")
+		addr      = fs.String("addr", "127.0.0.1:8732", "listen address")
+		withPprof = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	handler := newServerHandler(logger)
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *withPprof {
+		mountPprof(mux)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServerHandler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "fta: serving on http://%s (POST /solve, GET /healthz)\n", *addr)
+	logger.Info("serving", "addr", *addr, "pprof", *withPprof,
+		"endpoints", "POST /solve, GET /healthz, GET /metrics")
 	return srv.ListenAndServe()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -309,7 +310,7 @@ func jsonUnmarshal(data []byte, v any) error {
 }
 
 func TestServeHandler(t *testing.T) {
-	srv := httptest.NewServer(newServerHandler())
+	srv := httptest.NewServer(newServerHandler(nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -346,6 +347,82 @@ func TestServeHandler(t *testing.T) {
 	}
 	if out["algorithm"] != "FGT" {
 		t.Errorf("algorithm = %v", out["algorithm"])
+	}
+
+	// The serve handler wires a MetricsRecorder: the scrape must show both
+	// the HTTP request just made and the solver-side counters it drove.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(metrics)
+	for _, want := range []string{
+		`fta_http_requests_total{code="2xx",route="/solve"} 1`,
+		"fta_vdps_candidates_total",
+		"fta_solve_iterations_count 1",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, exposition)
+		}
+	}
+}
+
+func TestAssignTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"gen", "-dataset", "syn", "-centers", "2",
+		"-tasks", "40", "-workers", "8", "-points", "12", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "FGT", "-eps", "2",
+			"-trace-out", trace})
+	}); err != nil {
+		t.Fatalf("assign -trace-out: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	centers := map[float64]bool{}
+	lastIter := map[float64]float64{}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q is not JSON: %v", line, err)
+		}
+		for _, key := range []string{"center", "algorithm", "iteration", "changes", "payoff_diff", "avg_payoff"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("trace line missing %q: %s", key, line)
+			}
+		}
+		if rec["algorithm"] != "FGT" {
+			t.Errorf("trace algorithm = %v", rec["algorithm"])
+		}
+		c := rec["center"].(float64)
+		centers[c] = true
+		// Iterations must be 1-based and increasing per center.
+		it := rec["iteration"].(float64)
+		if it != lastIter[c]+1 {
+			t.Errorf("center %v iteration jumped from %v to %v", c, lastIter[c], it)
+		}
+		lastIter[c] = it
+	}
+	if len(centers) != 2 {
+		t.Errorf("trace covers %d centers, want 2", len(centers))
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"fairtask/internal/assign"
 	"fairtask/internal/dataset"
@@ -46,6 +47,7 @@ import (
 	"fairtask/internal/game"
 	"fairtask/internal/geo"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 	"fairtask/internal/online"
 	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
@@ -122,7 +124,33 @@ type (
 	Euclidean = geo.Euclidean
 	// Manhattan is the L1 metric alternative.
 	Manhattan = geo.Manhattan
+	// Recorder receives telemetry events from the solve path (candidate
+	// generation, per-iteration convergence, per-center solves, whole
+	// assignments). Implementations must be concurrency-safe; nil disables
+	// telemetry at no cost.
+	Recorder = obs.Recorder
+	// MetricsRegistry is a concurrency-safe registry of counters, gauges
+	// and histograms with Prometheus text-format exposition.
+	MetricsRegistry = obs.Registry
+	// MetricsRecorder is a Recorder aggregating events into a
+	// MetricsRegistry as Prometheus-style metrics.
+	MetricsRecorder = obs.MetricsRecorder
+	// VDPSEvent summarizes one candidate-generation run.
+	VDPSEvent = obs.VDPSEvent
+	// SolveEvent summarizes one completed single-center solve.
+	SolveEvent = obs.SolveEvent
+	// AssignEvent summarizes one completed multi-center assignment.
+	AssignEvent = obs.AssignEvent
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsRecorder builds a MetricsRecorder over the registry,
+// pre-registering the engine's fixed-name instruments.
+func NewMetricsRecorder(reg *MetricsRegistry) *MetricsRecorder {
+	return obs.NewMetricsRecorder(reg)
+}
 
 // Online matching policies.
 const (
@@ -214,6 +242,10 @@ type Options struct {
 	MPTANodeBudget int
 	// Parallelism bounds concurrent per-center solves in SolveProblem.
 	Parallelism int
+	// Recorder receives telemetry from candidate generation, game
+	// iterations, and solves. Nil (the default) disables telemetry with no
+	// measurable overhead.
+	Recorder Recorder
 }
 
 // NewAssigner returns the Assigner implementing opt.Algorithm.
@@ -250,6 +282,7 @@ func (a fgtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
 		UsePriorities:  a.opt.UsePriorities,
 		Trace:          a.opt.Trace,
 		RandomOrder:    a.opt.RandomOrder,
+		Recorder:       a.opt.Recorder,
 	})
 }
 
@@ -266,6 +299,7 @@ func (a iegtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
 		Seed:          a.opt.Seed,
 		Trace:         a.opt.Trace,
 		MutationRate:  a.opt.MutationRate,
+		Recorder:      a.opt.Recorder,
 	})
 }
 
@@ -276,11 +310,33 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := vdps.Generate(in, opt.VDPS)
+	vopt := opt.VDPS
+	if vopt.Recorder == nil {
+		vopt.Recorder = opt.Recorder
+	}
+	g, err := vdps.Generate(in, vopt)
 	if err != nil {
 		return nil, err
 	}
-	return solver.Assign(g)
+	return assignRecorded(in, g, solver, opt.Recorder)
+}
+
+// assignRecorded runs the solver and emits a SolveEvent on success.
+func assignRecorded(in *Instance, g *vdps.Generator, solver Assigner, rec Recorder) (*Result, error) {
+	start := time.Now()
+	res, err := solver.Assign(g)
+	if err == nil && rec != nil {
+		rec.RecordSolve(obs.SolveEvent{
+			Algorithm:  solver.Name(),
+			CenterID:   in.CenterID,
+			Workers:    len(in.Workers),
+			Points:     len(in.Points),
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+			Elapsed:    time.Since(start),
+		})
+	}
+	return res, err
 }
 
 // SolveSampled is Solve with sampled candidate generation instead of the
@@ -292,11 +348,14 @@ func SolveSampled(in *Instance, sample SampleVDPSOptions, opt Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	if sample.Recorder == nil {
+		sample.Recorder = opt.Recorder
+	}
 	g, err := vdps.GenerateSampled(in, sample)
 	if err != nil {
 		return nil, err
 	}
-	return solver.Assign(g)
+	return assignRecorded(in, g, solver, opt.Recorder)
 }
 
 // SolveProblem runs the selected algorithm over every center of a
@@ -316,6 +375,7 @@ func SolveProblemContext(ctx context.Context, p *Problem, opt Options) (*Problem
 	return platform.AssignContext(ctx, p, solver, platform.Options{
 		VDPS:        opt.VDPS,
 		Parallelism: opt.Parallelism,
+		Recorder:    opt.Recorder,
 	})
 }
 

@@ -113,7 +113,9 @@ func ReadCSV(r io.Reader) (*model.Problem, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCSV, err)
+			// Wrap the reader error too, so callers can errors.As through to
+			// transport-level causes such as *http.MaxBytesError.
+			return nil, fmt.Errorf("%w: %w", ErrBadCSV, err)
 		}
 		switch rec[0] {
 		case "meta":

@@ -21,6 +21,7 @@ import (
 
 	"fairtask/internal/game"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 	"fairtask/internal/vdps"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// paper's Algorithm 3) disables exploration. With mutation enabled, a
 	// round with mutations never counts as converged.
 	MutationRate float64
+	// Recorder receives one IterationStat per round via RecordIteration.
+	// Nil disables telemetry; per-round statistics are then only computed
+	// when Trace is set.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -90,14 +95,20 @@ func IEGT(g *vdps.Generator, opt Options) (*game.Result, error) {
 			}
 		}
 		res.Iterations = iter
-		if opt.Trace {
+		if opt.Trace || opt.Recorder != nil {
 			sum := s.Summary()
-			res.Trace = append(res.Trace, game.IterationStat{
+			st := game.IterationStat{
 				Iteration:  iter,
 				Changes:    changes,
 				PayoffDiff: sum.Difference,
 				AvgPayoff:  sum.Average,
-			})
+			}
+			if opt.Trace {
+				res.Trace = append(res.Trace, st)
+			}
+			if opt.Recorder != nil {
+				opt.Recorder.RecordIteration("IEGT", st)
+			}
 		}
 		if changes == 0 || payoffsEqual(s.Payoffs, opt.Tolerance) {
 			res.Converged = true

@@ -6,6 +6,7 @@ import (
 
 	"fairtask/internal/fairness"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 	"fairtask/internal/payoff"
 	"fairtask/internal/vdps"
 )
@@ -33,6 +34,10 @@ type Options struct {
 	// instead of the default fixed round-robin. The paper plays the game
 	// "in sequence"; random order is an ablation of that choice.
 	RandomOrder bool
+	// Recorder receives one IterationStat per round via RecordIteration.
+	// Nil disables telemetry; per-round statistics are then only computed
+	// when Trace is set.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -49,18 +54,10 @@ func (o Options) withDefaults() Options {
 }
 
 // IterationStat records one best-response round for convergence studies.
-type IterationStat struct {
-	// Iteration is the 1-based round number.
-	Iteration int
-	// Changes is how many workers switched strategy this round.
-	Changes int
-	// Potential is Phi = sum of IAUs after the round.
-	Potential float64
-	// PayoffDiff is P_dif after the round.
-	PayoffDiff float64
-	// AvgPayoff is the mean payoff after the round.
-	AvgPayoff float64
-}
+// It aliases obs.IterationStat, the canonical per-iteration convergence
+// record, so traces flow into telemetry recorders and the CLI's JSONL
+// export without conversion.
+type IterationStat = obs.IterationStat
 
 // Result is the outcome of a game-theoretic run (FGT or IEGT).
 type Result struct {
@@ -114,15 +111,21 @@ func FGT(g *vdps.Generator, opt Options) (*Result, error) {
 			}
 		}
 		res.Iterations = iter
-		if opt.Trace {
+		if opt.Trace || opt.Recorder != nil {
 			sum := s.Summary()
-			res.Trace = append(res.Trace, IterationStat{
+			st := IterationStat{
 				Iteration:  iter,
 				Changes:    changes,
 				Potential:  fairness.Potential(opt.Fairness, s.Payoffs),
 				PayoffDiff: sum.Difference,
 				AvgPayoff:  sum.Average,
-			})
+			}
+			if opt.Trace {
+				res.Trace = append(res.Trace, st)
+			}
+			if opt.Recorder != nil {
+				opt.Recorder.RecordIteration("FGT", st)
+			}
 		}
 		if changes == 0 {
 			res.Converged = true

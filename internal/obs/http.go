@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// StatusRecorder wraps an http.ResponseWriter, capturing the response code
+// and body size for instrumentation.
+type StatusRecorder struct {
+	http.ResponseWriter
+	// Status is the response code; 200 until WriteHeader is called.
+	Status int
+	// Bytes counts response body bytes written.
+	Bytes int64
+}
+
+// NewStatusRecorder wraps w with Status defaulting to 200.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (s *StatusRecorder) WriteHeader(code int) {
+	s.Status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements io.Writer.
+func (s *StatusRecorder) Write(p []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(p)
+	s.Bytes += int64(n)
+	return n, err
+}
+
+// CodeClass buckets an HTTP status code into "1xx".."5xx" for low-cardinality
+// status labels.
+func CodeClass(status int) string {
+	switch {
+	case status < 200:
+		return "1xx"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Middleware instruments next with per-request metrics in reg
+// (fta_http_requests_total by route and status class, the
+// fta_http_request_seconds latency histogram by route, and the
+// fta_http_in_flight gauge) and structured request logs to logger. A nil reg
+// skips metrics, a nil logger skips logging; with both nil the handler is
+// returned untouched. route maps a request to its low-cardinality route
+// label; nil uses the raw URL path (only safe for fixed route sets).
+func Middleware(reg *Registry, logger *slog.Logger, route func(*http.Request) string, next http.Handler) http.Handler {
+	if reg == nil && logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := r.URL.Path
+		if route != nil {
+			rt = route(r)
+		}
+		var inflight *Gauge
+		if reg != nil {
+			inflight = reg.Gauge("fta_http_in_flight", "HTTP requests currently being served.")
+			inflight.Inc()
+		}
+		sw := NewStatusRecorder(w)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if reg != nil {
+			inflight.Dec()
+			reg.Counter("fta_http_requests_total", "HTTP requests served, by route and status class.",
+				L("route", rt), L("code", CodeClass(sw.Status))).Inc()
+			reg.Histogram("fta_http_request_seconds", "HTTP request latency in seconds, by route.",
+				DefBuckets, L("route", rt)).Observe(elapsed.Seconds())
+		}
+		if logger != nil {
+			level := slog.LevelInfo
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				level = slog.LevelDebug // scrape and probe spam stays out of info logs
+			}
+			logger.LogAttrs(r.Context(), level, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.Status),
+				slog.Int64("bytes", sw.Bytes),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr))
+		}
+	})
+}
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

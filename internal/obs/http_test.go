@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetricsAndLogs(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("hello"))
+	})
+	h := Middleware(reg, logger, nil, inner)
+
+	for _, path := range []string{"/ok", "/ok", "/missing"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+
+	if got := reg.Counter("fta_http_requests_total", "", L("route", "/ok"), L("code", "2xx")).Value(); got != 2 {
+		t.Errorf("requests{/ok,2xx} = %d, want 2", got)
+	}
+	if got := reg.Counter("fta_http_requests_total", "", L("route", "/missing"), L("code", "4xx")).Value(); got != 1 {
+		t.Errorf("requests{/missing,4xx} = %d, want 1", got)
+	}
+	if got := reg.Histogram("fta_http_request_seconds", "", DefBuckets, L("route", "/ok")).Count(); got != 2 {
+		t.Errorf("latency observations for /ok = %d, want 2", got)
+	}
+	if got := reg.Gauge("fta_http_in_flight", "").Value(); got != 0 {
+		t.Errorf("in-flight after requests = %v, want 0", got)
+	}
+
+	var entry struct {
+		Msg    string `json:"msg"`
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(logBuf.String(), "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("first log line is not JSON: %v", err)
+	}
+	if entry.Msg != "http request" || entry.Method != "GET" || entry.Path != "/ok" || entry.Status != 200 {
+		t.Errorf("unexpected log entry: %+v", entry)
+	}
+}
+
+func TestMiddlewareRouteMapper(t *testing.T) {
+	reg := NewRegistry()
+	h := Middleware(reg, nil, func(*http.Request) string { return "fixed" },
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusAccepted) }))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/whatever/long/path", nil))
+	if got := reg.Counter("fta_http_requests_total", "", L("route", "fixed"), L("code", "2xx")).Value(); got != 1 {
+		t.Fatalf("requests{fixed,2xx} = %d, want 1", got)
+	}
+}
+
+func TestMiddlewareNilPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	if got := Middleware(nil, nil, nil, inner); got == nil {
+		t.Fatal("nil reg and logger should still return a handler")
+	}
+	// With both nil the handler must be returned untouched (no wrapper
+	// allocation per request).
+	rr := httptest.NewRecorder()
+	Middleware(nil, nil, nil, inner).ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("passthrough status = %d", rr.Code)
+	}
+}
+
+func TestStatusRecorderDefaults(t *testing.T) {
+	rr := httptest.NewRecorder()
+	sw := NewStatusRecorder(rr)
+	n, err := sw.Write([]byte("abc"))
+	if err != nil || n != 3 {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if sw.Status != http.StatusOK || sw.Bytes != 3 {
+		t.Fatalf("StatusRecorder = status %d bytes %d, want 200/3", sw.Status, sw.Bytes)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "a demo").Inc()
+	rr := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition format 0.0.4", ct)
+	}
+	if body := rr.Body.String(); !strings.Contains(body, "demo_total 1\n") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(0)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 10, 11, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count() = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 125.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum() = %v, want %v", got, want)
+	}
+	// Per-bucket (non-cumulative) counts: le=1 gets {0.5, 1}; le=5 gets {3};
+	// le=10 gets {10}; +Inf slot gets {11, 100}.
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegistryReusesSamples(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "ignored on reuse", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) should return the same counter")
+	}
+	other := r.Counter("x_total", "", L("k", "w"))
+	if a == other {
+		t.Fatal("different label values should return distinct counters")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("y_seconds", "", DefBuckets, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("y_seconds", "", DefBuckets, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order should not create a new histogram child")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name should panic")
+		}
+	}()
+	r.Gauge("clash", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", `has "quotes" and \slashes`, L("route", "/solve")).Add(3)
+	r.Gauge("a_gauge", "line one\nline two").Set(1.5)
+	h := r.Histogram("c_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP a_gauge line one\nline two
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total has "quotes" and \\slashes
+# TYPE b_total counter
+b_total{route="/solve"} 3
+# HELP c_seconds latency
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.5"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 3
+c_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusSpecialFloats(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf_gauge", "").Set(math.Inf(1))
+	r.Gauge("nan_gauge", "").Set(math.NaN())
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "inf_gauge +Inf\n") {
+		t.Errorf("missing +Inf rendering in:\n%s", out)
+	}
+	if !strings.Contains(out, "nan_gauge NaN\n") {
+		t.Errorf("missing NaN rendering in:\n%s", out)
+	}
+}
+
+func TestEscapeValue(t *testing.T) {
+	got := escapeValue("a\\b\"c\nd")
+	if want := `a\\b\"c\nd`; got != want {
+		t.Fatalf("escapeValue = %q, want %q", got, want)
+	}
+}
+
+func TestCodeClass(t *testing.T) {
+	cases := map[int]string{100: "1xx", 200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 599: "5xx"}
+	for code, want := range cases {
+		if got := CodeClass(code); got != want {
+			t.Errorf("CodeClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises the registry under the race detector:
+// concurrent first-registrations, increments and expositions.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("conc_total", "", L("worker", string(rune('a'+i%4)))).Inc()
+				r.Gauge("conc_gauge", "").Set(float64(j))
+				r.Histogram("conc_seconds", "", DefBuckets).Observe(float64(j) / 100)
+				if j%50 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("conc_total", "", L("worker", v)).Value()
+	}
+	if total != 8*200 {
+		t.Fatalf("concurrent increments lost: total = %d, want %d", total, 8*200)
+	}
+	if got := r.Histogram("conc_seconds", "", DefBuckets).Count(); got != 8*200 {
+		t.Fatalf("histogram observations lost: %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// IterationStat records one round of a game-theoretic solver run (FGT
+// best-response or IEGT replicator dynamics). It is the canonical
+// per-iteration convergence record: game.Result.Trace, the Recorder hook,
+// and the CLI's --trace-out JSONL export all use this type.
+type IterationStat struct {
+	// Iteration is the 1-based round number.
+	Iteration int `json:"iteration"`
+	// Changes is how many workers switched strategy this round.
+	Changes int `json:"changes"`
+	// Potential is Phi = sum of IAUs after the round (FGT only; zero for
+	// IEGT, whose dynamics have no potential function).
+	Potential float64 `json:"potential"`
+	// PayoffDiff is P_dif after the round.
+	PayoffDiff float64 `json:"payoff_diff"`
+	// AvgPayoff is the mean payoff after the round.
+	AvgPayoff float64 `json:"avg_payoff"`
+}
+
+// VDPSEvent summarizes one candidate-generation run (vdps.Generate or
+// vdps.GenerateSampled).
+type VDPSEvent struct {
+	// Points and Workers are the instance's sizes.
+	Points, Workers int
+	// Subsets counts distinct (set, last) DP states created.
+	Subsets int
+	// Pruned counts DP extensions discarded by the epsilon rule.
+	Pruned int
+	// Candidates is the number of C-VDPSs produced.
+	Candidates int
+	// Sampled is true for the randomized sampler, false for the exact DP.
+	Sampled bool
+	// Elapsed is the generation wall time.
+	Elapsed time.Duration
+}
+
+// SolveEvent summarizes one completed single-center solve.
+type SolveEvent struct {
+	// Algorithm is the assigner's name (FGT, IEGT, GTA, MPTA, MMTA).
+	Algorithm string
+	// CenterID identifies the distribution center.
+	CenterID int
+	// Workers and Points are the instance's sizes.
+	Workers, Points int
+	// Iterations is the number of game rounds executed (zero for the
+	// non-iterative baselines).
+	Iterations int
+	// Converged reports whether an equilibrium was reached before the cap.
+	Converged bool
+	// Elapsed is the solve wall time, excluding VDPS generation.
+	Elapsed time.Duration
+}
+
+// AssignEvent summarizes one multi-center platform assignment.
+type AssignEvent struct {
+	// Algorithm is the assigner's name.
+	Algorithm string
+	// Centers, Workers and Points are the problem's total sizes.
+	Centers, Workers, Points int
+	// Parallelism is the number of concurrent per-center solves used.
+	Parallelism int
+	// Elapsed is the wall time of the whole assignment.
+	Elapsed time.Duration
+}
+
+// Recorder receives telemetry events from the solve path. Implementations
+// must be safe for concurrent use: the platform solves centers in parallel
+// and the HTTP service handles overlapping requests. A nil Recorder means
+// telemetry is disabled; emitting code guards every call behind a nil check
+// so the disabled path costs one pointer comparison.
+type Recorder interface {
+	// RecordVDPS is called once per candidate-generation run.
+	RecordVDPS(VDPSEvent)
+	// RecordIteration is called after every FGT/IEGT round with the
+	// algorithm name and the round's convergence statistics.
+	RecordIteration(algorithm string, stat IterationStat)
+	// RecordSolve is called once per completed single-center solve.
+	RecordSolve(SolveEvent)
+	// RecordAssign is called once per completed multi-center assignment.
+	RecordAssign(AssignEvent)
+}
+
+// MetricsRecorder is a Recorder that aggregates events into a Registry as
+// Prometheus-style metrics. Label-free instruments are pre-registered at
+// construction so the first exposition already lists them with zero values;
+// algorithm-labeled children materialize on first use.
+type MetricsRecorder struct {
+	reg *Registry
+
+	vdpsSubsets    *Counter
+	vdpsPruned     *Counter
+	vdpsCandidates *Counter
+	vdpsSeconds    *Histogram
+
+	solveIterations *Histogram
+	solveSeconds    *Histogram
+
+	assignSeconds     *Histogram
+	assignCenters     *Counter
+	assignParallelism *Gauge
+}
+
+// NewMetricsRecorder builds a MetricsRecorder over the registry,
+// pre-registering every fixed-name instrument.
+func NewMetricsRecorder(reg *Registry) *MetricsRecorder {
+	return &MetricsRecorder{
+		reg: reg,
+		vdpsSubsets: reg.Counter("fta_vdps_subsets_total",
+			"Dynamic-program (set, last) states explored during VDPS generation."),
+		vdpsPruned: reg.Counter("fta_vdps_pruned_total",
+			"DP extensions discarded by the epsilon distance-pruning rule."),
+		vdpsCandidates: reg.Counter("fta_vdps_candidates_total",
+			"C-VDPS candidate sets generated."),
+		vdpsSeconds: reg.Histogram("fta_vdps_generation_seconds",
+			"Wall time of one VDPS candidate-generation run.", DefBuckets),
+		solveIterations: reg.Histogram("fta_solve_iterations",
+			"Game rounds per single-center solve.", CountBuckets),
+		solveSeconds: reg.Histogram("fta_solve_seconds",
+			"Wall time of one single-center solve, excluding VDPS generation.", DefBuckets),
+		assignSeconds: reg.Histogram("fta_assign_seconds",
+			"Wall time of one multi-center assignment.", DefBuckets),
+		assignCenters: reg.Counter("fta_assign_centers_total",
+			"Distribution centers solved by multi-center assignments."),
+		assignParallelism: reg.Gauge("fta_assign_parallelism",
+			"Concurrent per-center solves used by the latest assignment."),
+	}
+}
+
+// Registry returns the registry the recorder writes into.
+func (m *MetricsRecorder) Registry() *Registry { return m.reg }
+
+// RecordVDPS implements Recorder.
+func (m *MetricsRecorder) RecordVDPS(e VDPSEvent) {
+	m.vdpsSubsets.Add(int64(e.Subsets))
+	m.vdpsPruned.Add(int64(e.Pruned))
+	m.vdpsCandidates.Add(int64(e.Candidates))
+	m.vdpsSeconds.Observe(e.Elapsed.Seconds())
+}
+
+// RecordIteration implements Recorder: it accumulates strategy switches and
+// tracks the latest convergence state per algorithm.
+func (m *MetricsRecorder) RecordIteration(algorithm string, st IterationStat) {
+	alg := L("algorithm", algorithm)
+	m.reg.Counter("fta_solve_strategy_changes_total",
+		"Worker strategy switches across all solver rounds.", alg).Add(int64(st.Changes))
+	m.reg.Gauge("fta_solve_payoff_difference",
+		"P_dif after the most recent solver round.", alg).Set(st.PayoffDiff)
+	m.reg.Gauge("fta_solve_average_payoff",
+		"Mean worker payoff after the most recent solver round.", alg).Set(st.AvgPayoff)
+	m.reg.Gauge("fta_solve_potential",
+		"Potential function Phi after the most recent solver round (FGT).", alg).Set(st.Potential)
+}
+
+// RecordSolve implements Recorder.
+func (m *MetricsRecorder) RecordSolve(e SolveEvent) {
+	m.solveIterations.Observe(float64(e.Iterations))
+	m.solveSeconds.Observe(e.Elapsed.Seconds())
+	m.reg.Counter("fta_solve_total", "Completed single-center solves.",
+		L("algorithm", e.Algorithm), L("converged", strconv.FormatBool(e.Converged))).Inc()
+}
+
+// RecordAssign implements Recorder.
+func (m *MetricsRecorder) RecordAssign(e AssignEvent) {
+	m.assignSeconds.Observe(e.Elapsed.Seconds())
+	m.assignCenters.Add(int64(e.Centers))
+	m.assignParallelism.Set(float64(e.Parallelism))
+	m.reg.Counter("fta_assign_total", "Completed multi-center assignments.",
+		L("algorithm", e.Algorithm)).Inc()
+	m.reg.Counter("fta_assign_workers_total",
+		"Workers covered by multi-center assignments.").Add(int64(e.Workers))
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsRecorderVDPS(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewMetricsRecorder(reg)
+	rec.RecordVDPS(VDPSEvent{Points: 6, Workers: 3, Subsets: 40, Pruned: 12, Candidates: 25, Elapsed: 3 * time.Millisecond})
+	rec.RecordVDPS(VDPSEvent{Subsets: 10, Pruned: 2, Candidates: 5, Sampled: true, Elapsed: time.Millisecond})
+
+	if got := reg.Counter("fta_vdps_subsets_total", "").Value(); got != 50 {
+		t.Errorf("subsets = %d, want 50", got)
+	}
+	if got := reg.Counter("fta_vdps_pruned_total", "").Value(); got != 14 {
+		t.Errorf("pruned = %d, want 14", got)
+	}
+	if got := reg.Counter("fta_vdps_candidates_total", "").Value(); got != 30 {
+		t.Errorf("candidates = %d, want 30", got)
+	}
+	if got := reg.Histogram("fta_vdps_generation_seconds", "", DefBuckets).Count(); got != 2 {
+		t.Errorf("generation observations = %d, want 2", got)
+	}
+}
+
+func TestMetricsRecorderIteration(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewMetricsRecorder(reg)
+	rec.RecordIteration("FGT", IterationStat{Iteration: 1, Changes: 4, Potential: 9, PayoffDiff: 2.5, AvgPayoff: 7})
+	rec.RecordIteration("FGT", IterationStat{Iteration: 2, Changes: 1, Potential: 11, PayoffDiff: 1.25, AvgPayoff: 7.5})
+
+	alg := L("algorithm", "FGT")
+	if got := reg.Counter("fta_solve_strategy_changes_total", "", alg).Value(); got != 5 {
+		t.Errorf("strategy changes = %d, want 5", got)
+	}
+	if got := reg.Gauge("fta_solve_payoff_difference", "", alg).Value(); got != 1.25 {
+		t.Errorf("payoff difference = %v, want last-round 1.25", got)
+	}
+	if got := reg.Gauge("fta_solve_potential", "", alg).Value(); got != 11 {
+		t.Errorf("potential = %v, want 11", got)
+	}
+}
+
+func TestMetricsRecorderSolveAndAssign(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewMetricsRecorder(reg)
+	if rec.Registry() != reg {
+		t.Fatal("Registry() should return the construction registry")
+	}
+	rec.RecordSolve(SolveEvent{Algorithm: "FGT", Workers: 3, Points: 6, Iterations: 7, Converged: true, Elapsed: time.Millisecond})
+	rec.RecordSolve(SolveEvent{Algorithm: "IEGT", Iterations: 120, Converged: false, Elapsed: time.Millisecond})
+	rec.RecordAssign(AssignEvent{Algorithm: "FGT", Centers: 4, Workers: 12, Points: 24, Parallelism: 2, Elapsed: 5 * time.Millisecond})
+
+	if got := reg.Histogram("fta_solve_iterations", "", CountBuckets).Count(); got != 2 {
+		t.Errorf("iteration observations = %d, want 2", got)
+	}
+	if got := reg.Counter("fta_solve_total", "", L("algorithm", "FGT"), L("converged", "true")).Value(); got != 1 {
+		t.Errorf("fta_solve_total{FGT,true} = %d, want 1", got)
+	}
+	if got := reg.Counter("fta_assign_centers_total", "").Value(); got != 4 {
+		t.Errorf("assign centers = %d, want 4", got)
+	}
+	if got := reg.Gauge("fta_assign_parallelism", "").Value(); got != 2 {
+		t.Errorf("parallelism = %v, want 2", got)
+	}
+	if got := reg.Counter("fta_assign_workers_total", "").Value(); got != 12 {
+		t.Errorf("assign workers = %d, want 12", got)
+	}
+}
+
+// TestMetricsRecorderExposesRequiredFamilies guards the metric names promised
+// in the docs: a fresh recorder's first exposition must already list them.
+func TestMetricsRecorderExposesRequiredFamilies(t *testing.T) {
+	reg := NewRegistry()
+	NewMetricsRecorder(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"fta_vdps_subsets_total",
+		"fta_vdps_pruned_total",
+		"fta_vdps_candidates_total",
+		"fta_vdps_generation_seconds",
+		"fta_solve_iterations",
+		"fta_solve_seconds",
+		"fta_assign_seconds",
+		"fta_assign_centers_total",
+		"fta_assign_parallelism",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("fresh exposition missing family %s", name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fairtask/internal/assign"
 	"fairtask/internal/game"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 	"fairtask/internal/payoff"
 	"fairtask/internal/vdps"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// Parallelism bounds concurrent per-center solves. Zero means
 	// runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Recorder receives one obs.SolveEvent per center and one
+	// obs.AssignEvent for the whole assignment; it is also threaded into
+	// VDPS generation when VDPS.Recorder is unset. Nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 // Result is the outcome of a one-shot multi-center assignment.
@@ -68,6 +73,10 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		par = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	vopt := opt.VDPS
+	if vopt.Recorder == nil {
+		vopt.Recorder = opt.Recorder
+	}
 
 	res := &Result{PerCenter: make([]*game.Result, len(p.Instances))}
 	sem := make(chan struct{}, par)
@@ -89,7 +98,7 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := solveInstance(&p.Instances[i], solver, opt.VDPS)
+			r, err := solveInstance(&p.Instances[i], solver, vopt, opt.Recorder)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -112,12 +121,26 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 	res.Difference = payoff.Difference(res.Payoffs)
 	res.Average = payoff.Average(res.Payoffs)
 	res.Elapsed = time.Since(start)
+	if opt.Recorder != nil {
+		var points int
+		for i := range p.Instances {
+			points += len(p.Instances[i].Points)
+		}
+		opt.Recorder.RecordAssign(obs.AssignEvent{
+			Algorithm:   solver.Name(),
+			Centers:     len(p.Instances),
+			Workers:     len(res.Payoffs),
+			Points:      points,
+			Parallelism: par,
+			Elapsed:     res.Elapsed,
+		})
+	}
 	return res, nil
 }
 
 // solveInstance generates VDPSs for one center and runs the solver. Centers
 // without workers yield an empty result rather than an error.
-func solveInstance(in *model.Instance, solver assign.Assigner, vopt vdps.Options) (*game.Result, error) {
+func solveInstance(in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder) (*game.Result, error) {
 	if len(in.Workers) == 0 {
 		return &game.Result{
 			Assignment: model.NewAssignment(0),
@@ -128,5 +151,18 @@ func solveInstance(in *model.Instance, solver assign.Assigner, vopt vdps.Options
 	if err != nil {
 		return nil, err
 	}
-	return solver.Assign(g)
+	start := time.Now()
+	r, err := solver.Assign(g)
+	if err == nil && rec != nil {
+		rec.RecordSolve(obs.SolveEvent{
+			Algorithm:  solver.Name(),
+			CenterID:   in.CenterID,
+			Workers:    len(in.Workers),
+			Points:     len(in.Points),
+			Iterations: r.Iterations,
+			Converged:  r.Converged,
+			Elapsed:    time.Since(start),
+		})
+	}
+	return r, err
 }

@@ -1,11 +1,15 @@
 // Package server exposes the assignment engine over HTTP, so an SC platform
 // can call fairtask as a sidecar service: POST a problem in the library's
 // CSV schema and receive the assignment and its fairness metrics as JSON.
+// Every request is instrumented through the internal/obs registry, exposed
+// in Prometheus text format at GET /metrics.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -13,6 +17,7 @@ import (
 
 	"fairtask/internal/assign"
 	"fairtask/internal/dataset"
+	"fairtask/internal/obs"
 	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
 	"fairtask/internal/vdps"
@@ -27,6 +32,7 @@ type Factory func(algorithm string, seed int64) (assign.Assigner, error)
 // Handler is the HTTP API. Routes:
 //
 //	GET  /healthz           -> 200 "ok"
+//	GET  /metrics           -> Prometheus text exposition of Registry
 //	POST /solve?alg=FGT&eps=2&seed=1&parallel=4
 //	     body: problem CSV  -> JSON SolveResponse
 type Handler struct {
@@ -34,24 +40,79 @@ type Handler struct {
 	mux     *http.ServeMux
 	// MaxBodyBytes bounds request bodies; zero means 32 MiB.
 	MaxBodyBytes int64
+	// Registry collects the service's HTTP and solver metrics. New installs
+	// a fresh registry; replace or nil it before serving the first request.
+	Registry *obs.Registry
+	// Logger receives structured request and solve logs. Nil (the default)
+	// disables logging.
+	Logger *slog.Logger
+	// Recorder receives solver telemetry (VDPS generation, per-center
+	// solves, whole assignments) for every /solve request. Nil disables it.
+	Recorder obs.Recorder
 }
 
-// New builds the handler around a solver factory.
+// New builds the handler around a solver factory with a fresh metrics
+// registry. The HTTP metric families are pre-registered so the first
+// /metrics scrape already lists them.
 func New(factory Factory) *Handler {
-	h := &Handler{factory: factory, mux: http.NewServeMux()}
+	h := &Handler{factory: factory, mux: http.NewServeMux(), Registry: obs.NewRegistry()}
 	h.mux.HandleFunc("/healthz", h.health)
 	h.mux.HandleFunc("/solve", h.solve)
+	h.mux.HandleFunc("/metrics", h.metrics)
+	seedHTTPMetrics(h.Registry)
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// routes are the fixed paths used as low-cardinality route labels; anything
+// else is folded into "other".
+var routes = []string{"/solve", "/healthz", "/metrics"}
+
+// routeLabel maps a request path to its metric label.
+func routeLabel(r *http.Request) string {
+	for _, known := range routes {
+		if r.URL.Path == known {
+			return known
+		}
+	}
+	return "other"
+}
+
+// seedHTTPMetrics pre-registers the request metric families with zero-valued
+// children for every known route, so a scrape before the first request (or
+// the very first scrape, which is itself only counted after it responds)
+// already exposes fta_http_requests_total and fta_http_request_seconds.
+func seedHTTPMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("fta_http_in_flight", "HTTP requests currently being served.")
+	for _, rt := range routes {
+		reg.Counter("fta_http_requests_total", "HTTP requests served, by route and status class.",
+			obs.L("route", rt), obs.L("code", "2xx"))
+		reg.Histogram("fta_http_request_seconds", "HTTP request latency in seconds, by route.",
+			obs.DefBuckets, obs.L("route", rt))
+	}
+}
+
+// ServeHTTP implements http.Handler, instrumenting every request with the
+// handler's current Registry and Logger.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	obs.Middleware(h.Registry, h.Logger, routeLabel, h.mux).ServeHTTP(w, r)
 }
 
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// metrics serves the registry in Prometheus text format; 404 when metrics
+// are disabled (nil Registry).
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if h.Registry == nil {
+		http.NotFound(w, r)
+		return
+	}
+	obs.MetricsHandler(h.Registry).ServeHTTP(w, r)
 }
 
 // WorkerRoute is one worker's route in a SolveResponse. Points carries
@@ -78,11 +139,12 @@ type SolveResponse struct {
 func errorJSON(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		errorJSON(w, http.StatusMethodNotAllowed, "POST a problem CSV to /solve")
 		return
 	}
@@ -127,6 +189,12 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 
 	prob, err := dataset.ReadCSV(r.Body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			errorJSON(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		errorJSON(w, http.StatusBadRequest, "bad problem CSV: "+err.Error())
 		return
 	}
@@ -140,6 +208,7 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 	res, err := platform.AssignContext(r.Context(), prob, solver, platform.Options{
 		VDPS:        vdps.Options{Epsilon: eps},
 		Parallelism: par,
+		Recorder:    h.Recorder,
 	})
 	if err != nil {
 		errorJSON(w, http.StatusUnprocessableEntity, "solve failed: "+err.Error())
@@ -172,6 +241,20 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	if h.Logger != nil {
+		h.Logger.LogAttrs(r.Context(), slog.LevelInfo, "solve",
+			slog.String("algorithm", solver.Name()),
+			slog.Int("centers", len(prob.Instances)),
+			slog.Int("workers", len(res.Payoffs)),
+			slog.Float64("payoff_difference", res.Difference),
+			slog.Float64("average_payoff", res.Average),
+			slog.Duration("elapsed", res.Elapsed))
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err != nil && h.Logger != nil {
+		// The response is already partially on the wire (status 200), so all
+		// we can do is record that the client got a truncated body.
+		h.Logger.LogAttrs(r.Context(), slog.LevelWarn, "write solve response",
+			slog.String("error", err.Error()))
+	}
 }

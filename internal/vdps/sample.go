@@ -4,9 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"fairtask/internal/bitset"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 )
 
 // SampleOptions configure GenerateSampled.
@@ -24,6 +26,9 @@ type SampleOptions struct {
 	Branch int
 	// Seed drives the randomized growth.
 	Seed int64
+	// Recorder receives one obs.VDPSEvent per successful generation run.
+	// Nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 // GenerateSampled builds a candidate pool by randomized greedy route growth
@@ -40,6 +45,7 @@ type SampleOptions struct {
 // uniformly among the Branch nearest. Every prefix of every grown route is
 // recorded as a candidate.
 func GenerateSampled(in *model.Instance, opt SampleOptions) (*Generator, error) {
+	begin := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,5 +172,15 @@ func GenerateSampled(in *model.Instance, opt SampleOptions) (*Generator, error) 
 		return false
 	})
 	g.stats.Candidates = len(g.candidates)
+	if opt.Recorder != nil {
+		opt.Recorder.RecordVDPS(obs.VDPSEvent{
+			Points:     n,
+			Workers:    len(in.Workers),
+			Subsets:    g.stats.SubsetsExplored,
+			Candidates: g.stats.Candidates,
+			Sampled:    true,
+			Elapsed:    time.Since(begin),
+		})
+	}
 	return g, nil
 }

@@ -29,11 +29,13 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"fairtask/internal/bitset"
 	"fairtask/internal/geo"
 	"fairtask/internal/grid"
 	"fairtask/internal/model"
+	"fairtask/internal/obs"
 )
 
 // Options configure generation.
@@ -56,6 +58,9 @@ type Options struct {
 	// Parallel shards each DP level over this many goroutines. Values
 	// below 2 keep the sequential path. Results are identical either way.
 	Parallel int
+	// Recorder receives one obs.VDPSEvent per successful generation run.
+	// Nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 // ErrTooManySets is returned when Options.MaxSets is exceeded.
@@ -152,6 +157,7 @@ type dpState struct {
 
 // Generate runs the C-VDPS dynamic program for the instance.
 func Generate(in *model.Instance, opt Options) (*Generator, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("vdps: %w", err)
 	}
@@ -256,6 +262,16 @@ func Generate(in *model.Instance, opt Options) (*Generator, error) {
 		return false
 	})
 	g.stats.Candidates = len(g.candidates)
+	if opt.Recorder != nil {
+		opt.Recorder.RecordVDPS(obs.VDPSEvent{
+			Points:     n,
+			Workers:    len(in.Workers),
+			Subsets:    g.stats.SubsetsExplored,
+			Pruned:     g.stats.ExtensionsPruned,
+			Candidates: g.stats.Candidates,
+			Elapsed:    time.Since(start),
+		})
+	}
 	return g, nil
 }
 
