@@ -9,12 +9,15 @@
 //	fta sim   -in problem.csv -alg IEGT -epochs n [-dt hours]
 //	fta report -in problem.csv -alg FGT [-eps km]
 //	fta serve [-addr host:port] [-pprof] [-log-format text|json] [-log-level info]
+//	          [-job-workers n] [-queue-depth n] [-job-ttl 15m] [-solve-timeout 0]
+//	          [-drain-timeout 30s]
 //
 // "fta sweep" regenerates the series behind every figure of the paper's
 // evaluation section; see EXPERIMENTS.md for the mapping.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,11 +28,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"fairtask"
 	"fairtask/internal/experiment"
+	"fairtask/internal/jobs"
+	"fairtask/internal/obs"
 	"fairtask/internal/server"
 )
 
@@ -634,10 +641,15 @@ func mountPprof(mux *http.ServeMux) {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8732", "listen address")
-		withPprof = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
-		logFormat = fs.String("log-format", "text", "structured log format: text or json")
-		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		addr       = fs.String("addr", "127.0.0.1:8732", "listen address")
+		withPprof  = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		jobWorkers = fs.Int("job-workers", 0, "async solve worker pool size (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue-depth", 64, "bounded job queue depth; full queue answers 429")
+		jobTTL     = fs.Duration("job-ttl", 15*time.Minute, "how long finished job results stay queryable")
+		solveTO    = fs.Duration("solve-timeout", 0, "per-solve deadline for /solve and /jobs (0 = none)")
+		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight jobs before force-cancel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -647,6 +659,16 @@ func cmdServe(args []string) error {
 		return err
 	}
 	handler := newServerHandler(logger)
+	manager := jobs.New(jobs.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *queueDepth,
+		TTL:        *jobTTL,
+		Timeout:    *solveTO,
+		Metrics:    obs.NewJobsMetrics(handler.Registry),
+		Logger:     logger,
+	})
+	handler.Jobs = manager
+	handler.SolveTimeout = *solveTO
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
 	if *withPprof {
@@ -657,7 +679,37 @@ func cmdServe(args []string) error {
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// Serve until SIGINT/SIGTERM, then drain: stop admitting jobs (flipping
+	// /readyz to 503 so orchestrators stop routing here), let queued and
+	// running solves finish within the grace period, and only then stop the
+	// HTTP listener — status polls keep working throughout the drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr, "pprof", *withPprof,
-		"endpoints", "POST /solve, GET /healthz, GET /metrics")
-	return srv.ListenAndServe()
+		"job_workers", manager.Stats().Workers, "queue_depth", *queueDepth,
+		"endpoints", "POST /solve, POST /jobs, GET /jobs/{id}, DELETE /jobs/{id}, GET /healthz, GET /readyz, GET /metrics")
+
+	select {
+	case err := <-errc:
+		manager.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	logger.Info("shutting down", "drain_timeout", *drainTO)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := manager.Close(drainCtx); err != nil {
+		logger.Warn("drain incomplete, jobs force-canceled", "error", err.Error())
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Info("stopped")
+	return nil
 }

@@ -273,8 +273,8 @@ type fgtAssigner struct{ opt Options }
 func (fgtAssigner) Name() string { return string(AlgFGT) }
 
 // Assign implements Assigner.
-func (a fgtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
-	return game.FGT(g, game.Options{
+func (a fgtAssigner) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
+	return game.FGT(ctx, g, game.Options{
 		Fairness:       a.opt.Fairness,
 		MaxIterations:  a.opt.MaxIterations,
 		Seed:           a.opt.Seed,
@@ -293,8 +293,8 @@ type iegtAssigner struct{ opt Options }
 func (iegtAssigner) Name() string { return string(AlgIEGT) }
 
 // Assign implements Assigner.
-func (a iegtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
-	return evo.IEGT(g, evo.Options{
+func (a iegtAssigner) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
+	return evo.IEGT(ctx, g, evo.Options{
 		MaxIterations: a.opt.MaxIterations,
 		Seed:          a.opt.Seed,
 		Trace:         a.opt.Trace,
@@ -306,6 +306,14 @@ func (a iegtAssigner) Assign(g *vdps.Generator) (*game.Result, error) {
 // Solve runs the selected algorithm on a single-center instance: it
 // generates the VDPS candidates and computes the assignment.
 func Solve(in *Instance, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), in, opt)
+}
+
+// SolveContext is Solve with cancellation: candidate generation and the
+// solver both observe ctx at their iteration boundaries, so a canceled
+// context (client disconnect, job deadline) stops the solve early with
+// ctx.Err() instead of running to MaxIterations.
+func SolveContext(ctx context.Context, in *Instance, opt Options) (*Result, error) {
 	solver, err := NewAssigner(opt)
 	if err != nil {
 		return nil, err
@@ -314,17 +322,17 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 	if vopt.Recorder == nil {
 		vopt.Recorder = opt.Recorder
 	}
-	g, err := vdps.Generate(in, vopt)
+	g, err := vdps.GenerateContext(ctx, in, vopt)
 	if err != nil {
 		return nil, err
 	}
-	return assignRecorded(in, g, solver, opt.Recorder)
+	return assignRecorded(ctx, in, g, solver, opt.Recorder)
 }
 
 // assignRecorded runs the solver and emits a SolveEvent on success.
-func assignRecorded(in *Instance, g *vdps.Generator, solver Assigner, rec Recorder) (*Result, error) {
+func assignRecorded(ctx context.Context, in *Instance, g *vdps.Generator, solver Assigner, rec Recorder) (*Result, error) {
 	start := time.Now()
-	res, err := solver.Assign(g)
+	res, err := solver.Assign(ctx, g)
 	if err == nil && rec != nil {
 		rec.RecordSolve(obs.SolveEvent{
 			Algorithm:  solver.Name(),
@@ -344,6 +352,12 @@ func assignRecorded(in *Instance, g *vdps.Generator, solver Assigner, rec Record
 // or unlimited-maxDP instances tractable at the cost of completeness (see
 // the vdps package documentation). opt.VDPS is ignored.
 func SolveSampled(in *Instance, sample SampleVDPSOptions, opt Options) (*Result, error) {
+	return SolveSampledContext(context.Background(), in, sample, opt)
+}
+
+// SolveSampledContext is SolveSampled with cancellation, mirroring
+// SolveContext.
+func SolveSampledContext(ctx context.Context, in *Instance, sample SampleVDPSOptions, opt Options) (*Result, error) {
 	solver, err := NewAssigner(opt)
 	if err != nil {
 		return nil, err
@@ -351,11 +365,11 @@ func SolveSampled(in *Instance, sample SampleVDPSOptions, opt Options) (*Result,
 	if sample.Recorder == nil {
 		sample.Recorder = opt.Recorder
 	}
-	g, err := vdps.GenerateSampled(in, sample)
+	g, err := vdps.GenerateSampledContext(ctx, in, sample)
 	if err != nil {
 		return nil, err
 	}
-	return assignRecorded(in, g, solver, opt.Recorder)
+	return assignRecorded(ctx, in, g, solver, opt.Recorder)
 }
 
 // SolveProblem runs the selected algorithm over every center of a

@@ -5,6 +5,7 @@
 package assign
 
 import (
+	"context"
 	"sort"
 
 	"fairtask/internal/game"
@@ -15,8 +16,11 @@ import (
 type Assigner interface {
 	// Name identifies the algorithm in experiment output ("GTA", "FGT", ...).
 	Name() string
-	// Assign solves the instance backing g.
-	Assign(g *vdps.Generator) (*game.Result, error)
+	// Assign solves the instance backing g. Implementations observe ctx at
+	// iteration boundaries and return ctx.Err() when it is done, so a
+	// canceled request or an expired job deadline stops the search instead
+	// of running to completion.
+	Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error)
 }
 
 // GTA is the Greedy Task Assignment baseline: repeatedly give the
@@ -29,10 +33,13 @@ type GTA struct{}
 func (GTA) Name() string { return "GTA" }
 
 // Assign implements Assigner.
-func (GTA) Assign(g *vdps.Generator) (*game.Result, error) {
+func (GTA) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
 		return nil, game.ErrNoWorkers
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	greedy(s)
 	return &game.Result{
@@ -79,7 +86,7 @@ type MPTA struct {
 func (MPTA) Name() string { return "MPTA" }
 
 // Assign implements Assigner.
-func (m MPTA) Assign(g *vdps.Generator) (*game.Result, error) {
+func (m MPTA) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
 		return nil, game.ErrNoWorkers
@@ -109,12 +116,18 @@ func (m MPTA) Assign(g *vdps.Generator) (*game.Result, error) {
 	exhausted := true
 	n := len(s.Current)
 	for _, comp := range comps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		compBudget := budget * len(comp) / n
 		if compBudget < 1000 {
 			compBudget = 1000
 		}
-		b := &bnb{s: s, topK: topK, budget: compBudget, workers: comp}
+		b := &bnb{s: s, ctx: ctx, topK: topK, budget: compBudget, workers: comp}
 		b.run()
+		if b.canceled {
+			return nil, ctx.Err()
+		}
 		if !b.exhausted {
 			exhausted = false
 		}
@@ -198,6 +211,7 @@ func components(s *game.State, topK int) [][]int {
 // that slice, not global worker indices.
 type bnb struct {
 	s       *game.State
+	ctx     context.Context
 	topK    int
 	budget  int
 	workers []int
@@ -207,6 +221,7 @@ type bnb struct {
 	bestValue float64
 	nodes     int
 	exhausted bool
+	canceled  bool
 
 	// suffixMax[i] bounds the payoff positions i.. can still add (sum of
 	// each worker's best strategy payoff, ignoring conflicts — admissible).
@@ -254,8 +269,17 @@ func (b *bnb) run() {
 // dfs explores position i's choices given the accumulated value. It returns
 // false when the node budget ran out somewhere below.
 func (b *bnb) dfs(i int, value float64) bool {
+	if b.canceled {
+		return false
+	}
 	b.nodes++
 	if b.nodes > b.budget {
+		return false
+	}
+	// Poll cancellation every 8192 nodes: frequent enough that a canceled
+	// search stops within microseconds, rare enough to stay off the profile.
+	if b.nodes&0x1fff == 0 && b.ctx.Err() != nil {
+		b.canceled = true
 		return false
 	}
 	if value+b.suffixMax[i] <= b.bestValue {

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"errors"
 
 	"fairtask/internal/game"
@@ -40,7 +41,7 @@ func Score(payoffs []float64, lambda float64) float64 {
 func (Exact) Name() string { return "EXACT" }
 
 // Assign implements Assigner.
-func (e Exact) Assign(g *vdps.Generator) (*game.Result, error) {
+func (e Exact) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
 		return nil, game.ErrNoWorkers
@@ -71,9 +72,20 @@ func (e Exact) Assign(g *vdps.Generator) (*game.Result, error) {
 	}
 	bestScore := Score(payoffs, lambda) // all-null baseline
 
+	var leaves int
+	canceled := false
 	var rec func(w int)
 	rec = func(w int) {
+		if canceled {
+			return
+		}
 		if w == n {
+			leaves++
+			// Poll cancellation every 8192 complete joint strategies.
+			if leaves&0x1fff == 0 && ctx.Err() != nil {
+				canceled = true
+				return
+			}
 			if sc := Score(payoffs, lambda); sc > bestScore+1e-12 {
 				bestScore = sc
 				copy(best, cur)
@@ -97,6 +109,9 @@ func (e Exact) Assign(g *vdps.Generator) (*game.Result, error) {
 		}
 	}
 	rec(0)
+	if canceled {
+		return nil, ctx.Err()
+	}
 
 	for w, si := range best {
 		if si != game.Null {

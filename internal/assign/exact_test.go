@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -34,7 +35,7 @@ func TestExactNoWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Exact{}).Assign(g); err != game.ErrNoWorkers {
+	if _, err := (Exact{}).Assign(context.Background(), g); err != game.ErrNoWorkers {
 		t.Errorf("err = %v, want ErrNoWorkers", err)
 	}
 }
@@ -42,7 +43,7 @@ func TestExactNoWorkers(t *testing.T) {
 func TestExactSearchTooLarge(t *testing.T) {
 	in := gridInstance(10, 5, 3, 100, 701)
 	g := mustGen(t, in)
-	if _, err := (Exact{MaxJointStrategies: 10}).Assign(g); !errors.Is(err, ErrSearchTooLarge) {
+	if _, err := (Exact{MaxJointStrategies: 10}).Assign(context.Background(), g); !errors.Is(err, ErrSearchTooLarge) {
 		t.Errorf("err = %v, want ErrSearchTooLarge", err)
 	}
 }
@@ -53,7 +54,7 @@ func TestExactIsOptimal(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := gridInstance(5, 3, 2, 100, 710+seed)
 		g := mustGen(t, in)
-		res, err := (Exact{}).Assign(g)
+		res, err := (Exact{}).Assign(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,12 +105,12 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		in := gridInstance(6, 3, 2, 100, 720+seed)
 		g := mustGen(t, in)
-		exact, err := (Exact{}).Assign(g)
+		exact, err := (Exact{}).Assign(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
 		exactScore := Score(exact.Summary.Payoffs, 1)
-		iegt, err := evo.IEGT(g, evo.Options{Seed: seed})
+		iegt, err := evo.IEGT(context.Background(), g, evo.Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 			t.Errorf("seed %d: IEGT score %g beats exact %g — exact solver is wrong",
 				seed, sc, exactScore)
 		}
-		gta, err := (GTA{}).Assign(g)
+		gta, err := (GTA{}).Assign(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,11 +133,11 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 func TestExactLambdaTradeoff(t *testing.T) {
 	in := gridInstance(6, 3, 2, 100, 730)
 	g := mustGen(t, in)
-	payoffOnly, err := (Exact{Lambda: 1e-9}).Assign(g)
+	payoffOnly, err := (Exact{Lambda: 1e-9}).Assign(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	balanced, err := (Exact{Lambda: 1}).Assign(g)
+	balanced, err := (Exact{Lambda: 1}).Assign(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}

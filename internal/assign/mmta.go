@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 
 	"fairtask/internal/game"
@@ -25,7 +26,7 @@ type MMTA struct{}
 func (MMTA) Name() string { return "MMTA" }
 
 // Assign implements Assigner.
-func (MMTA) Assign(g *vdps.Generator) (*game.Result, error) {
+func (MMTA) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
 		return nil, game.ErrNoWorkers
@@ -33,6 +34,9 @@ func (MMTA) Assign(g *vdps.Generator) (*game.Result, error) {
 	iterations := 0
 	for {
 		iterations++
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Pick the worst-off worker that has an available strictly better
 		// strategy.
 		w, si := -1, game.Null

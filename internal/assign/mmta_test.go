@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"testing"
 
 	"fairtask/internal/game"
@@ -17,14 +18,14 @@ func TestMMTAName(t *testing.T) {
 func TestMMTAValidAndDeterministic(t *testing.T) {
 	in := gridInstance(10, 5, 2, 100, 900)
 	g := mustGen(t, in)
-	a, err := (MMTA{}).Assign(g)
+	a, err := (MMTA{}).Assign(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Assignment.Validate(in); err != nil {
 		t.Fatalf("MMTA assignment invalid: %v", err)
 	}
-	b, err := (MMTA{}).Assign(g)
+	b, err := (MMTA{}).Assign(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestMMTANoWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (MMTA{}).Assign(g); err != game.ErrNoWorkers {
+	if _, err := (MMTA{}).Assign(context.Background(), g); err != game.ErrNoWorkers {
 		t.Errorf("err = %v, want ErrNoWorkers", err)
 	}
 }
@@ -50,7 +51,7 @@ func TestMMTANoWorkers(t *testing.T) {
 func TestMMTALocalMaxMinOptimum(t *testing.T) {
 	in := gridInstance(12, 6, 2, 100, 902)
 	g := mustGen(t, in)
-	res, err := (MMTA{}).Assign(g)
+	res, err := (MMTA{}).Assign(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestMMTAMinAtLeastGTAMin(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		in := gridInstance(10, 5, 2, 100, 910+seed)
 		g := mustGen(t, in)
-		gta, err := (GTA{}).Assign(g)
+		gta, err := (GTA{}).Assign(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mmta, err := (MMTA{}).Assign(g)
+		mmta, err := (MMTA{}).Assign(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}

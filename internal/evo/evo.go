@@ -15,6 +15,7 @@
 package evo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,7 +63,10 @@ func (o Options) withDefaults() Options {
 // on the population of the generator's instance and returns the resulting
 // assignment. The utility of a worker in the evolutionary game is its raw
 // payoff (paper §VI-B), not the IAU.
-func IEGT(g *vdps.Generator, opt Options) (*game.Result, error) {
+//
+// ctx is observed at every evolution round boundary: when it is done the
+// run stops and ctx.Err() is returned.
+func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, error) {
 	opt = opt.withDefaults()
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
@@ -73,6 +77,9 @@ func IEGT(g *vdps.Generator, opt Options) (*game.Result, error) {
 
 	res := &game.Result{}
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ubar := populationAverage(s)
 		changes := 0
 		for w := range s.Current {

@@ -1,6 +1,7 @@
 package evo
 
 import (
+	"context"
 	"testing"
 
 	"fairtask/internal/vdps"
@@ -14,7 +15,7 @@ func BenchmarkIEGT(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := IEGT(g, Options{Seed: 1}); err != nil {
+		if _, err := IEGT(context.Background(), g, Options{Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package evo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func mustGen(t *testing.T, in *model.Instance) *vdps.Generator {
 
 func TestIEGTProducesValidAssignment(t *testing.T) {
 	in := gridInstance(8, 4, 3, 100, 1)
-	res, err := IEGT(mustGen(t, in), Options{Seed: 9})
+	res, err := IEGT(context.Background(), mustGen(t, in), Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestIEGTProducesValidAssignment(t *testing.T) {
 func TestIEGTEquilibriumCondition(t *testing.T) {
 	in := gridInstance(10, 5, 2, 100, 3)
 	g := mustGen(t, in)
-	res, err := IEGT(g, Options{Seed: 11})
+	res, err := IEGT(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +118,8 @@ func routesEqual(a, b model.Route) bool {
 func TestIEGTDeterministicPerSeed(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100, 5)
 	g := mustGen(t, in)
-	a, _ := IEGT(g, Options{Seed: 21})
-	b, _ := IEGT(g, Options{Seed: 21})
+	a, _ := IEGT(context.Background(), g, Options{Seed: 21})
+	b, _ := IEGT(context.Background(), g, Options{Seed: 21})
 	if a.Summary.Difference != b.Summary.Difference || a.Iterations != b.Iterations {
 		t.Error("same seed produced different results")
 	}
@@ -131,14 +132,14 @@ func TestIEGTNoWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := IEGT(g, Options{}); err != game.ErrNoWorkers {
+	if _, err := IEGT(context.Background(), g, Options{}); err != game.ErrNoWorkers {
 		t.Errorf("err = %v, want ErrNoWorkers", err)
 	}
 }
 
 func TestIEGTTrace(t *testing.T) {
 	in := gridInstance(10, 4, 2, 100, 9)
-	res, err := IEGT(mustGen(t, in), Options{Seed: 2, Trace: true})
+	res, err := IEGT(context.Background(), mustGen(t, in), Options{Seed: 2, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestPopulationShares(t *testing.T) {
 func TestIEGTImprovesFairness(t *testing.T) {
 	in := gridInstance(12, 6, 2, 100, 17)
 	g := mustGen(t, in)
-	res, err := IEGT(g, Options{Seed: 4, Trace: true})
+	res, err := IEGT(context.Background(), g, Options{Seed: 4, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestIEGTImprovesFairness(t *testing.T) {
 func TestIEGTMutationStillValid(t *testing.T) {
 	in := gridInstance(10, 5, 2, 100, 21)
 	g := mustGen(t, in)
-	res, err := IEGT(g, Options{Seed: 6, MutationRate: 0.3, MaxIterations: 50})
+	res, err := IEGT(context.Background(), g, Options{Seed: 6, MutationRate: 0.3, MaxIterations: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +235,11 @@ func TestIEGTMutationStillValid(t *testing.T) {
 func TestIEGTZeroMutationMatchesBaseline(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100, 23)
 	g := mustGen(t, in)
-	a, err := IEGT(g, Options{Seed: 9})
+	a, err := IEGT(context.Background(), g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := IEGT(g, Options{Seed: 9, MutationRate: 0})
+	b, err := IEGT(context.Background(), g, Options{Seed: 9, MutationRate: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestIEGTZeroMutationMatchesBaseline(t *testing.T) {
 func TestVerifyEquilibrium(t *testing.T) {
 	in := gridInstance(10, 5, 2, 100, 31)
 	g := mustGen(t, in)
-	res, err := IEGT(g, Options{Seed: 8})
+	res, err := IEGT(context.Background(), g, Options{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

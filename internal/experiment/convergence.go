@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fairtask/internal/dataset"
 	"fairtask/internal/evo"
 	"fairtask/internal/game"
@@ -28,7 +29,7 @@ func fig12Convergence(cfg Config) (*Series, error) {
 		return nil, err
 	}
 
-	fgt, err := game.FGT(g, game.Options{Seed: cfg.Seed, Trace: true})
+	fgt, err := game.FGT(context.Background(), g, game.Options{Seed: cfg.Seed, Trace: true})
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +43,7 @@ func fig12Convergence(cfg Config) (*Series, error) {
 		})
 	}
 
-	iegt, err := evo.IEGT(g, evo.Options{Seed: cfg.Seed, Trace: true})
+	iegt, err := evo.IEGT(context.Background(), g, evo.Options{Seed: cfg.Seed, Trace: true})
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -130,8 +131,8 @@ type fgtRunner struct{ seed int64 }
 func (fgtRunner) Name() string { return "FGT" }
 
 // Assign implements assign.Assigner.
-func (r fgtRunner) Assign(g *vdps.Generator) (*game.Result, error) {
-	return game.FGT(g, game.Options{Seed: r.seed})
+func (r fgtRunner) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
+	return game.FGT(ctx, g, game.Options{Seed: r.seed})
 }
 
 // iegtRunner adapts evo.IEGT likewise.
@@ -141,8 +142,8 @@ type iegtRunner struct{ seed int64 }
 func (iegtRunner) Name() string { return "IEGT" }
 
 // Assign implements assign.Assigner.
-func (r iegtRunner) Assign(g *vdps.Generator) (*game.Result, error) {
-	return evo.IEGT(g, evo.Options{Seed: r.seed})
+func (r iegtRunner) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
+	return evo.IEGT(ctx, g, evo.Options{Seed: r.seed})
 }
 
 // measureProblem solves a multi-center problem with one algorithm and

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func optGap(cfg Config) (*Series, error) {
 		}
 		for _, alg := range algs {
 			start := time.Now()
-			res, err := alg.Assign(g)
+			res, err := alg.Assign(context.Background(), g)
 			if err != nil {
 				return nil, fmt.Errorf("optgap seed %d %s: %w", seed, alg.Name(), err)
 			}

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -82,7 +83,12 @@ var ErrNoWorkers = errors.New("game: instance has no workers")
 // a random singleton initialization followed by sequential asynchronous
 // best-response updates of the workers' strategies under the IAU utility,
 // until a pure Nash equilibrium (no worker switches) is reached.
-func FGT(g *vdps.Generator, opt Options) (*Result, error) {
+//
+// ctx is observed at every best-response round boundary: when it is done
+// the run stops and ctx.Err() is returned, so canceled requests and expired
+// job deadlines do not burn CPU to MaxIterations. The per-round check is a
+// single atomic load and stays within benchmark noise.
+func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	s := NewState(g)
 	if len(s.Current) == 0 {
@@ -100,6 +106,9 @@ func FGT(g *vdps.Generator, opt Options) (*Result, error) {
 		order[i] = i
 	}
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opt.RandomOrder {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}

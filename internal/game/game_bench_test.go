@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"testing"
 
 	"fairtask/internal/obs"
@@ -21,7 +22,7 @@ func BenchmarkFGT(b *testing.B) {
 	g := benchSetup(b, 20, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := FGT(g, Options{Seed: 1}); err != nil {
+		if _, err := FGT(context.Background(), g, Options{Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -35,7 +36,7 @@ func BenchmarkFGTWithRecorder(b *testing.B) {
 	rec := obs.NewMetricsRecorder(obs.NewRegistry())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := FGT(g, Options{Seed: 1, Recorder: rec}); err != nil {
+		if _, err := FGT(context.Background(), g, Options{Seed: 1, Recorder: rec}); err != nil {
 			b.Fatal(err)
 		}
 	}

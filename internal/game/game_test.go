@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -135,7 +136,7 @@ func TestRandomInitSingletonsAndDisjoint(t *testing.T) {
 
 func TestFGTProducesValidAssignment(t *testing.T) {
 	in := gridInstance(8, 4, 3, 100)
-	res, err := FGT(mustGen(t, in), Options{Seed: 7})
+	res, err := FGT(context.Background(), mustGen(t, in), Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFGTNashEquilibrium(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100)
 	g := mustGen(t, in)
 	opt := Options{Seed: 3}
-	res, err := FGT(g, opt)
+	res, err := FGT(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func routesEqual(a, b model.Route) bool {
 func TestFGTDeterministicPerSeed(t *testing.T) {
 	in := gridInstance(7, 3, 2, 100)
 	g := mustGen(t, in)
-	a, err := FGT(g, Options{Seed: 42})
+	a, err := FGT(context.Background(), g, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FGT(g, Options{Seed: 42})
+	b, err := FGT(context.Background(), g, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestFGTDeterministicPerSeed(t *testing.T) {
 
 func TestFGTTrace(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100)
-	res, err := FGT(mustGen(t, in), Options{Seed: 1, Trace: true})
+	res, err := FGT(context.Background(), mustGen(t, in), Options{Seed: 1, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestFGTNoWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FGT(g, Options{}); err != ErrNoWorkers {
+	if _, err := FGT(context.Background(), g, Options{}); err != ErrNoWorkers {
 		t.Errorf("err = %v, want ErrNoWorkers", err)
 	}
 }
@@ -275,7 +276,7 @@ func TestFGTTightDeadlinesNullWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := FGT(g, Options{Seed: 5})
+	res, err := FGT(context.Background(), g, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestFGTTightDeadlinesNullWorkers(t *testing.T) {
 func TestFGTWithPriorities(t *testing.T) {
 	in := gridInstance(8, 3, 2, 100)
 	in.Workers[0].Priority = 3
-	res, err := FGT(mustGen(t, in), Options{Seed: 2, UsePriorities: true})
+	res, err := FGT(context.Background(), mustGen(t, in), Options{Seed: 2, UsePriorities: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestEligibleWorkers(t *testing.T) {
 func TestFGTRandomOrderStillConvergesToNE(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100)
 	g := mustGen(t, in)
-	res, err := FGT(g, Options{Seed: 13, RandomOrder: true})
+	res, err := FGT(context.Background(), g, Options{Seed: 13, RandomOrder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestFGTRandomOrderStillConvergesToNE(t *testing.T) {
 func TestVerifyNE(t *testing.T) {
 	in := gridInstance(8, 4, 2, 100)
 	g := mustGen(t, in)
-	res, err := FGT(g, Options{Seed: 17})
+	res, err := FGT(context.Background(), g, Options{Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}

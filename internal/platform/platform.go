@@ -61,9 +61,8 @@ func Assign(p *model.Problem, solver assign.Assigner, opt Options) (*Result, err
 }
 
 // AssignContext is Assign with cancellation: centers not yet started when
-// ctx is done are skipped and the context error is returned. In-flight
-// per-center solves run to completion (the solvers themselves are
-// CPU-bounded and fast at per-center scale).
+// ctx is done are skipped, in-flight per-center solves observe ctx at their
+// iteration boundaries and stop early, and the context error is returned.
 func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner, opt Options) (*Result, error) {
 	if len(p.Instances) == 0 {
 		return nil, ErrNoInstances
@@ -98,7 +97,7 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := solveInstance(&p.Instances[i], solver, vopt, opt.Recorder)
+			r, err := solveInstance(ctx, &p.Instances[i], solver, vopt, opt.Recorder)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -140,19 +139,19 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 
 // solveInstance generates VDPSs for one center and runs the solver. Centers
 // without workers yield an empty result rather than an error.
-func solveInstance(in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder) (*game.Result, error) {
+func solveInstance(ctx context.Context, in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder) (*game.Result, error) {
 	if len(in.Workers) == 0 {
 		return &game.Result{
 			Assignment: model.NewAssignment(0),
 			Converged:  true,
 		}, nil
 	}
-	g, err := vdps.Generate(in, vopt)
+	g, err := vdps.GenerateContext(ctx, in, vopt)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	r, err := solver.Assign(g)
+	r, err := solver.Assign(ctx, g)
 	if err == nil && rec != nil {
 		rec.RecordSolve(obs.SolveEvent{
 			Algorithm:  solver.Name(),

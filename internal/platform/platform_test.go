@@ -300,7 +300,7 @@ type checkLocSolver struct {
 
 func (c checkLocSolver) Name() string { return c.inner.Name() }
 
-func (c checkLocSolver) Assign(g *vdps.Generator) (*game.Result, error) {
+func (c checkLocSolver) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
 	in := g.Instance()
 	for _, w := range in.Workers {
 		for _, o := range c.original {
@@ -309,7 +309,7 @@ func (c checkLocSolver) Assign(g *vdps.Generator) (*game.Result, error) {
 			}
 		}
 	}
-	return c.inner.Assign(g)
+	return c.inner.Assign(ctx, g)
 }
 
 func TestAssignContextCancelled(t *testing.T) {

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,8 @@ import (
 
 	"fairtask/internal/assign"
 	"fairtask/internal/dataset"
+	"fairtask/internal/jobs"
+	"fairtask/internal/model"
 	"fairtask/internal/obs"
 	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
@@ -32,9 +35,13 @@ type Factory func(algorithm string, seed int64) (assign.Assigner, error)
 // Handler is the HTTP API. Routes:
 //
 //	GET  /healthz           -> 200 "ok"
+//	GET  /readyz            -> JSON queue/drain state; 503 while draining
 //	GET  /metrics           -> Prometheus text exposition of Registry
 //	POST /solve?alg=FGT&eps=2&seed=1&parallel=4
-//	     body: problem CSV  -> JSON SolveResponse
+//	     body: problem CSV  -> JSON SolveResponse (synchronous)
+//	POST /jobs?alg=...      -> 202 JSON JobResponse; 429 when the queue is full
+//	GET  /jobs/{id}         -> JSON JobResponse (Result populated when done)
+//	DELETE /jobs/{id}       -> cancel; JSON JobResponse
 type Handler struct {
 	factory Factory
 	mux     *http.ServeMux
@@ -49,6 +56,14 @@ type Handler struct {
 	// Recorder receives solver telemetry (VDPS generation, per-center
 	// solves, whole assignments) for every /solve request. Nil disables it.
 	Recorder obs.Recorder
+	// Jobs is the asynchronous solve-job manager behind /jobs and /readyz.
+	// Nil (the default) disables the job API: job routes answer 503 and
+	// /readyz reports ready based on the process being up alone.
+	Jobs *jobs.Manager
+	// SolveTimeout bounds synchronous /solve requests; the request context
+	// is canceled after this long and the client receives 503. Zero means
+	// no server-imposed deadline.
+	SolveTimeout time.Duration
 }
 
 // New builds the handler around a solver factory with a fresh metrics
@@ -57,15 +72,20 @@ type Handler struct {
 func New(factory Factory) *Handler {
 	h := &Handler{factory: factory, mux: http.NewServeMux(), Registry: obs.NewRegistry()}
 	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.HandleFunc("/solve", h.solve)
 	h.mux.HandleFunc("/metrics", h.metrics)
+	h.mux.HandleFunc("POST /jobs", h.jobSubmit)
+	h.mux.HandleFunc("GET /jobs/{id}", h.jobGet)
+	h.mux.HandleFunc("DELETE /jobs/{id}", h.jobCancel)
 	seedHTTPMetrics(h.Registry)
 	return h
 }
 
 // routes are the fixed paths used as low-cardinality route labels; anything
-// else is folded into "other".
-var routes = []string{"/solve", "/healthz", "/metrics"}
+// else is folded into "other". Per-job paths share the "/jobs/:id" label so
+// job IDs never become label values.
+var routes = []string{"/solve", "/healthz", "/readyz", "/metrics", "/jobs", "/jobs/:id"}
 
 // routeLabel maps a request path to its metric label.
 func routeLabel(r *http.Request) string {
@@ -73,6 +93,9 @@ func routeLabel(r *http.Request) string {
 		if r.URL.Path == known {
 			return known
 		}
+	}
+	if len(r.URL.Path) > len("/jobs/") && r.URL.Path[:len("/jobs/")] == "/jobs/" {
+		return "/jobs/:id"
 	}
 	return "other"
 }
@@ -142,12 +165,19 @@ func errorJSON(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		errorJSON(w, http.StatusMethodNotAllowed, "POST a problem CSV to /solve")
-		return
-	}
+// solveRequest is a fully parsed and validated solve request: the problem,
+// the solver, and the platform options. Both the synchronous /solve path and
+// the asynchronous job path parse into this before solving.
+type solveRequest struct {
+	prob   *model.Problem
+	solver assign.Assigner
+	opt    platform.Options
+}
+
+// parseSolveRequest validates the query parameters and CSV body shared by
+// POST /solve and POST /jobs. On failure it writes the error response and
+// returns nil.
+func (h *Handler) parseSolveRequest(w http.ResponseWriter, r *http.Request) *solveRequest {
 	maxBody := h.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 32 << 20
@@ -164,7 +194,7 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
 			errorJSON(w, http.StatusBadRequest, "bad seed: "+err.Error())
-			return
+			return nil
 		}
 		seed = v
 	}
@@ -173,7 +203,7 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil || v <= 0 {
 			errorJSON(w, http.StatusBadRequest, "bad eps")
-			return
+			return nil
 		}
 		eps = v
 	}
@@ -182,7 +212,7 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
 			errorJSON(w, http.StatusBadRequest, "bad parallel")
-			return
+			return nil
 		}
 		par = v
 	}
@@ -193,30 +223,36 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			errorJSON(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-			return
+			return nil
 		}
 		errorJSON(w, http.StatusBadRequest, "bad problem CSV: "+err.Error())
-		return
+		return nil
 	}
 	solver, err := h.factory(alg, seed)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err.Error())
-		return
+		return nil
 	}
+	return &solveRequest{
+		prob:   prob,
+		solver: solver,
+		opt: platform.Options{
+			VDPS:        vdps.Options{Epsilon: eps},
+			Parallelism: par,
+			Recorder:    h.Recorder,
+		},
+	}
+}
 
+// runSolve executes a parsed solve request and builds the response body.
+func (h *Handler) runSolve(ctx context.Context, req *solveRequest) (*SolveResponse, error) {
 	start := time.Now()
-	res, err := platform.AssignContext(r.Context(), prob, solver, platform.Options{
-		VDPS:        vdps.Options{Epsilon: eps},
-		Parallelism: par,
-		Recorder:    h.Recorder,
-	})
+	res, err := platform.AssignContext(ctx, req.prob, req.solver, req.opt)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, "solve failed: "+err.Error())
-		return
+		return nil, err
 	}
-
-	resp := SolveResponse{
-		Algorithm:  solver.Name(),
+	resp := &SolveResponse{
+		Algorithm:  req.solver.Name(),
 		Workers:    len(res.Payoffs),
 		Difference: res.Difference,
 		Average:    res.Average,
@@ -224,7 +260,7 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for i, pc := range res.PerCenter {
-		in := &prob.Instances[i]
+		in := &req.prob.Instances[i]
 		for wi, route := range pc.Assignment.Routes {
 			if len(route) == 0 {
 				continue
@@ -242,13 +278,45 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if h.Logger != nil {
-		h.Logger.LogAttrs(r.Context(), slog.LevelInfo, "solve",
-			slog.String("algorithm", solver.Name()),
-			slog.Int("centers", len(prob.Instances)),
+		h.Logger.LogAttrs(ctx, slog.LevelInfo, "solve",
+			slog.String("algorithm", req.solver.Name()),
+			slog.Int("centers", len(req.prob.Instances)),
 			slog.Int("workers", len(res.Payoffs)),
 			slog.Float64("payoff_difference", res.Difference),
 			slog.Float64("average_payoff", res.Average),
 			slog.Duration("elapsed", res.Elapsed))
+	}
+	return resp, nil
+}
+
+func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		errorJSON(w, http.StatusMethodNotAllowed, "POST a problem CSV to /solve")
+		return
+	}
+	req := h.parseSolveRequest(w, r)
+	if req == nil {
+		return
+	}
+
+	// The solve observes the request context — canceled when the client
+	// disconnects — tightened by the server-side timeout when configured.
+	ctx := r.Context()
+	if h.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.SolveTimeout)
+		defer cancel()
+	}
+	resp, err := h.runSolve(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			errorJSON(w, http.StatusServiceUnavailable,
+				"solve aborted: "+ctx.Err().Error()+" (submit via POST /jobs for long solves)")
+			return
+		}
+		errorJSON(w, http.StatusUnprocessableEntity, "solve failed: "+err.Error())
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil && h.Logger != nil {

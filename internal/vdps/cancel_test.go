@@ -1,0 +1,43 @@
+package vdps
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestGenerateContextCanceled(t *testing.T) {
+	in := lineInstance(8, 100, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateContext(ctx, in, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateContext with pre-canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateSampledContextCanceled(t *testing.T) {
+	in := lineInstance(8, 100, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateSampledContext(ctx, in, SampleOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateSampledContext with pre-canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestGenerateContextUnaffectedWhenLive guards the refactor: threading a
+// live context through generation must not change the candidate pool.
+func TestGenerateContextUnaffectedWhenLive(t *testing.T) {
+	in := lineInstance(6, 100, 6)
+	plain, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := GenerateContext(context.Background(), in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats().Candidates != withCtx.Stats().Candidates {
+		t.Fatalf("candidate count diverged: %d (Generate) vs %d (GenerateContext)",
+			plain.Stats().Candidates, withCtx.Stats().Candidates)
+	}
+}

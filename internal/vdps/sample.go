@@ -1,6 +1,7 @@
 package vdps
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -45,6 +46,12 @@ type SampleOptions struct {
 // uniformly among the Branch nearest. Every prefix of every grown route is
 // recorded as a candidate.
 func GenerateSampled(in *model.Instance, opt SampleOptions) (*Generator, error) {
+	return GenerateSampledContext(context.Background(), in, opt)
+}
+
+// GenerateSampledContext is GenerateSampled with cancellation: ctx is
+// checked once per starting point, returning ctx.Err() when it is done.
+func GenerateSampledContext(ctx context.Context, in *model.Instance, opt SampleOptions) (*Generator, error) {
 	begin := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -103,6 +110,9 @@ func GenerateSampled(in *model.Instance, opt SampleOptions) (*Generator, error) 
 		dist  float64
 	}
 	for start := 0; start < n; start++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := in.Travel.Time(in.Center, in.Points[start].Loc)
 		if t0 > expiry[start] {
 			continue

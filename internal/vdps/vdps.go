@@ -23,6 +23,7 @@
 package vdps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -157,6 +158,15 @@ type dpState struct {
 
 // Generate runs the C-VDPS dynamic program for the instance.
 func Generate(in *model.Instance, opt Options) (*Generator, error) {
+	return GenerateContext(context.Background(), in, opt)
+}
+
+// GenerateContext is Generate with cancellation: the dynamic program checks
+// ctx at every level boundary and periodically inside a level's expansion,
+// returning ctx.Err() when it is done. Candidate generation dominates the
+// solve time of large instances, so this is where a canceled request saves
+// the most work.
+func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Generator, error) {
 	start := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("vdps: %w", err)
@@ -222,16 +232,24 @@ func Generate(in *model.Instance, opt Options) (*Generator, error) {
 		workers = 1
 	}
 	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next map[string]*dpState
 		if workers == 1 || len(level) < 2*workers {
 			var pruned int
-			next, pruned = expandChunk(g, level, all, neighbors, expiry, eps)
+			next, pruned = expandChunk(ctx, g, level, all, neighbors, expiry, eps)
 			g.stats.ExtensionsPruned += pruned
 			for range next {
 				g.stats.SubsetsExplored++
 			}
 		} else {
-			next = g.expandParallel(level, all, neighbors, expiry, eps, workers)
+			next = g.expandParallel(ctx, level, all, neighbors, expiry, eps, workers)
+		}
+		if err := ctx.Err(); err != nil {
+			// A cancellation observed mid-level leaves next incomplete;
+			// abandon the partial expansion rather than emit wrong results.
+			return nil, err
 		}
 		level = level[:0]
 		for _, ds := range next {
@@ -451,14 +469,18 @@ func (g *Generator) ForWorker(w int) []WorkerVDPS {
 // expandChunk computes the next-level states generated by the given slice
 // of current-level states. It returns the chunk-local (set, last) map and
 // the number of ε-pruned extensions. Stats are left to the caller so the
-// function is safe to run concurrently.
-func expandChunk(g *Generator, chunk []*dpState, all []int,
+// function is safe to run concurrently. Cancellation is polled every 64
+// states; on cancel the partial map is returned and the caller discards it.
+func expandChunk(ctx context.Context, g *Generator, chunk []*dpState, all []int,
 	neighbors [][]int, expiry []float64, eps float64) (map[string]*dpState, int) {
 	in := g.inst
 	n := len(in.Points)
 	next := map[string]*dpState{}
 	var pruned int
-	for _, ds := range chunk {
+	for di, ds := range chunk {
+		if di&0x3f == 0 && ctx.Err() != nil {
+			return next, pruned
+		}
 		lastLoc := in.Points[ds.last].Loc
 		succ := all
 		if neighbors != nil {
@@ -505,7 +527,7 @@ func expandChunk(g *Generator, chunk []*dpState, all []int,
 // merges the chunk-local maps in fixed chunk order. Ties between states with
 // identical (time, slack) keep the lower chunk's sequence, so the merged
 // result equals the sequential computation.
-func (g *Generator) expandParallel(level []*dpState, all []int,
+func (g *Generator) expandParallel(ctx context.Context, level []*dpState, all []int,
 	neighbors [][]int, expiry []float64, eps float64, workers int) map[string]*dpState {
 	chunkSize := (len(level) + workers - 1) / workers
 	type part struct {
@@ -531,7 +553,7 @@ func (g *Generator) expandParallel(level []*dpState, all []int,
 		wg.Add(1)
 		go func(i int, chunk []*dpState) {
 			defer wg.Done()
-			parts[i].next, parts[i].pruned = expandChunk(g, chunk, all, neighbors, expiry, eps)
+			parts[i].next, parts[i].pruned = expandChunk(ctx, g, chunk, all, neighbors, expiry, eps)
 		}(idx, level[start:end])
 		idx++
 	}
