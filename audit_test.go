@@ -1,0 +1,99 @@
+package fairtask_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fairtask"
+)
+
+// TestSolveWithAudit runs every algorithm with the audit gate on: a clean
+// solve must succeed unchanged.
+func TestSolveWithAudit(t *testing.T) {
+	in := gmInstance(t)
+	for _, alg := range fairtask.Algorithms() {
+		res, err := fairtask.Solve(in, fairtask.Options{Algorithm: alg, Seed: 3, Audit: true})
+		if err != nil {
+			t.Fatalf("%s with audit: %v", alg, err)
+		}
+		if res.Assignment == nil {
+			t.Fatalf("%s: no assignment", alg)
+		}
+	}
+}
+
+func TestSolveProblemWithAudit(t *testing.T) {
+	p, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed: 5, Centers: 2, Tasks: 40, Workers: 8, DeliveryPoints: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fairtask.SolveProblem(p, fairtask.Options{Algorithm: fairtask.AlgFGT, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCenter) != 2 {
+		t.Fatalf("solved %d centers, want 2", len(res.PerCenter))
+	}
+}
+
+// TestAuditRejectsTamperedResult corrupts a solved assignment and checks the
+// public Audit entry point reports it, with the error carrying the report.
+func TestAuditRejectsTamperedResult(t *testing.T) {
+	in := gmInstance(t)
+	res, err := fairtask.Solve(in, fairtask.Options{Algorithm: fairtask.AlgMPTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim a different payoff total than the routes produce.
+	bad := res.Summary
+	bad.Average *= 3
+	rep := fairtask.Audit(in, res.Assignment, &bad, fairtask.AuditOptions{})
+	if rep.OK() {
+		t.Fatal("audit accepted a tampered summary")
+	}
+	var aerr *fairtask.AuditError
+	if !errors.As(rep.Err(), &aerr) {
+		t.Fatalf("Err() = %T, want *AuditError", rep.Err())
+	}
+	if aerr.Report != rep {
+		t.Error("AuditError does not carry its report")
+	}
+}
+
+// TestReadAssignmentCSVPublic round-trips an assignment export through the
+// public wrappers.
+func TestReadAssignmentCSVPublic(t *testing.T) {
+	p, err := fairtask.GenerateSYN(fairtask.SYNConfig{
+		Seed: 9, Centers: 1, Tasks: 20, Workers: 4, DeliveryPoints: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fairtask.SolveProblem(p, fairtask.Options{Algorithm: fairtask.AlgGTA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignments := make([]*fairtask.Assignment, len(res.PerCenter))
+	for i, r := range res.PerCenter {
+		assignments[i] = r.Assignment
+	}
+	var buf bytes.Buffer
+	if err := fairtask.WriteAssignmentCSV(&buf, p, assignments); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fairtask.ReadAssignmentCSV(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fairtask.Audit(&p.Instances[0], got[0], nil, fairtask.AuditOptions{})
+	if !rep.OK() {
+		t.Errorf("round-tripped assignment failed audit: %v", rep.Violations)
+	}
+	if rep.Recomputed.Assigned != res.PerCenter[0].Summary.Assigned {
+		t.Errorf("recomputed %d assigned, want %d",
+			rep.Recomputed.Assigned, res.PerCenter[0].Summary.Assigned)
+	}
+}

@@ -8,6 +8,7 @@
 //	fta sweep -fig fig2..fig12 [-scale n] [-gmscale n] [-seed n]
 //	fta sim   -in problem.csv -alg IEGT -epochs n [-dt hours]
 //	fta report -in problem.csv -alg FGT [-eps km]
+//	fta audit -in problem.csv -routes routes.csv [-alg FGT] [-eps km]
 //	fta serve [-addr host:port] [-pprof] [-log-format text|json] [-log-level info]
 //	          [-job-workers n] [-queue-depth n] [-job-ttl 15m] [-solve-timeout 0]
 //	          [-drain-timeout 30s]
@@ -63,6 +64,8 @@ func run(args []string) error {
 		return cmdSim(args[1:])
 	case "report":
 		return cmdReport(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	case "online":
 		return cmdOnline(args[1:])
 	case "render":
@@ -87,6 +90,7 @@ subcommands:
   sweep   regenerate a paper figure's series (fig2..fig12)
   sim     run the epoch-based platform simulation
   report  solve a dataset and print a full fairness report
+  audit   re-verify a saved route CSV against its dataset
   online  replay a random task stream through the online matcher
   render  draw one center's assignment as an SVG map
   serve   run the assignment engine as an HTTP service
@@ -454,6 +458,78 @@ func cmdReport(args []string) error {
 			prob.Instances[i].CenterID, len(s.Payoffs), s.Assigned, s.Difference, s.Average)
 	}
 	return tw.Flush()
+}
+
+// cmdAudit re-verifies a persisted assignment (an "fta assign -routes"
+// export) against its dataset: route structure, deadlines, recomputed
+// payoffs, VDPS membership, and — when -alg names a game-theoretic algorithm
+// — the equilibrium certificate. It exits non-zero on any violation, so it
+// can gate a dispatch pipeline.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input problem CSV")
+		routes = fs.String("routes", "", "route CSV written by \"fta assign -routes\"")
+		alg    = fs.String("alg", "", "algorithm that produced the routes; FGT or IEGT enables the equilibrium check")
+		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km used for the solve (0 = no pruning)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := loadProblem(*in)
+	if err != nil {
+		return err
+	}
+	if *routes == "" {
+		return fmt.Errorf("-routes is required")
+	}
+	f, err := os.Open(*routes)
+	if err != nil {
+		return err
+	}
+	assignments, err := fairtask.ReadAssignmentCSV(f, prob)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	opt := fairtask.AuditOptions{Algorithm: *alg, Converged: *alg != ""}
+	if *eps > 0 {
+		opt.VDPS.Epsilon = *eps
+	} else {
+		opt.VDPS.Epsilon = math.Inf(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "center\tworkers\tassigned\tP_dif\tavg payoff\tresult")
+	var bad int
+	var reports []*fairtask.AuditReport
+	for i := range prob.Instances {
+		inst := &prob.Instances[i]
+		rep := fairtask.Audit(inst, assignments[i], nil, opt)
+		reports = append(reports, rep)
+		verdict := "ok"
+		if !rep.OK() {
+			verdict = fmt.Sprintf("%d violation(s)", len(rep.Violations))
+			bad++
+		}
+		s := rep.Recomputed
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\t%s\n",
+			inst.CenterID, len(inst.Workers), s.Assigned, s.Difference, s.Average, verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for i, rep := range reports {
+		for _, v := range rep.Violations {
+			fmt.Printf("center %d: %s\n", prob.Instances[i].CenterID, v.String())
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("audit failed for %d of %d centers", bad, len(prob.Instances))
+	}
+	fmt.Printf("audit passed: %d center(s)\n", len(prob.Instances))
+	return nil
 }
 
 func cmdOnline(args []string) error {

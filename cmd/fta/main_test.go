@@ -452,3 +452,71 @@ func TestGenGMissionRawFiles(t *testing.T) {
 		t.Error("missing raw file flags accepted")
 	}
 }
+
+func TestAuditRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	routes := filepath.Join(dir, "routes.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "11",
+		"-centers", "2", "-tasks", "40", "-workers", "6", "-points", "12",
+		"-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "FGT", "-routes", routes})
+	}); err != nil {
+		t.Fatalf("assign -routes: %v", err)
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"audit", "-in", csv, "-routes", routes, "-alg", "FGT"})
+	})
+	if err != nil {
+		t.Fatalf("audit rejected a clean export: %v\n%s", err, out)
+	}
+	for _, want := range []string{"center", "result", "audit passed: 2 center(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Corrupt the export: point the first route row at a different delivery
+	// point, producing either an overlap, a deadline miss or a non-member
+	// route — any of which must fail the audit with a non-zero exit.
+	data, err := os.ReadFile(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("route export too small to corrupt:\n%s", data)
+	}
+	f1 := strings.Split(lines[1], ",")
+	f2 := strings.Split(lines[2], ",")
+	f1[3] = f2[3] // duplicate another row's point ID
+	lines[1] = strings.Join(f1, ",")
+	if err := os.WriteFile(routes, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"audit", "-in", csv, "-routes", routes})
+	})
+	if err == nil {
+		t.Fatalf("audit accepted a corrupted export:\n%s", out)
+	}
+	if !strings.Contains(out, "violation") {
+		t.Errorf("audit output does not mention violations:\n%s", out)
+	}
+}
+
+func TestAuditRequiresRoutes(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	if err := run([]string{"gen", "-dataset", "gm", "-tasks", "20",
+		"-workers", "4", "-points", "8", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"audit", "-in", csv}); err == nil {
+		t.Error("audit without -routes accepted")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"fairtask/internal/assign"
+	"fairtask/internal/audit"
 	"fairtask/internal/dataset"
 	"fairtask/internal/evo"
 	"fairtask/internal/fairness"
@@ -141,6 +142,20 @@ type (
 	SolveEvent = obs.SolveEvent
 	// AssignEvent summarizes one completed multi-center assignment.
 	AssignEvent = obs.AssignEvent
+	// AuditReport is the outcome of an independent assignment audit: the
+	// checks executed, the invariants violated, and the payoff summary the
+	// auditor recomputed from scratch.
+	AuditReport = audit.Report
+	// AuditViolation is one broken invariant found by the auditor.
+	AuditViolation = audit.Violation
+	// AuditCheck identifies one audited invariant family.
+	AuditCheck = audit.Check
+	// AuditOptions configure an assignment audit.
+	AuditOptions = audit.Options
+	// AuditError is the error form of a failed audit; it carries the full
+	// report and is returned (wrapped) by Solve* when Options.Audit is set
+	// and a violation is found. Extract it with errors.As.
+	AuditError = audit.Error
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -246,6 +261,13 @@ type Options struct {
 	// iterations, and solves. Nil (the default) disables telemetry with no
 	// measurable overhead.
 	Recorder Recorder
+	// Audit re-verifies every produced assignment with the independent
+	// auditor (route structure, deadline feasibility, payoff summary, VDPS
+	// membership and — for converged FGT/IEGT — the equilibrium
+	// certificate). A violation fails the solve with an error wrapping
+	// *AuditError. The solver's own candidate generator is reused, so the
+	// overhead is one verification pass, not a second generation.
+	Audit bool
 }
 
 // NewAssigner returns the Assigner implementing opt.Algorithm.
@@ -326,7 +348,50 @@ func SolveContext(ctx context.Context, in *Instance, opt Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return assignRecorded(ctx, in, g, solver, opt.Recorder)
+	res, err := assignRecorded(ctx, in, g, solver, opt.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	if err := auditResult(in, g, solver.Name(), res, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// auditResult runs the independent auditor over a solve result when
+// Options.Audit is set, reusing the solve's candidate generator. A violation
+// fails the solve with the wrapped *AuditError.
+func auditResult(in *Instance, g *vdps.Generator, algorithm string, res *Result, opt Options) error {
+	if !opt.Audit {
+		return nil
+	}
+	aopt := auditOptions(opt)
+	aopt.Generator = g
+	aopt.Algorithm = algorithm
+	aopt.Converged = res.Converged
+	if rep := audit.Run(in, res.Assignment, &res.Summary, aopt); !rep.OK() {
+		return fmt.Errorf("fairtask: %s solve failed verification: %w", algorithm, rep.Err())
+	}
+	return nil
+}
+
+// auditOptions derives the audit configuration matching a solve's options.
+func auditOptions(opt Options) AuditOptions {
+	return AuditOptions{
+		VDPS:           opt.VDPS,
+		Fairness:       opt.Fairness,
+		EpsilonUtility: opt.EpsilonUtility,
+		UsePriorities:  opt.UsePriorities,
+	}
+}
+
+// Audit independently re-verifies an assignment against an instance: route
+// structure, deadline feasibility, the reported payoff summary (nil sum
+// skips the comparison), VDPS membership, and the equilibrium certificate
+// for converged FGT/IEGT results (see AuditOptions). The report lists every
+// violated invariant; Report.Err() converts it to an error.
+func Audit(in *Instance, a *Assignment, sum *Summary, opt AuditOptions) *AuditReport {
+	return audit.Run(in, a, sum, opt)
 }
 
 // assignRecorded runs the solver and emits a SolveEvent on success.
@@ -369,7 +434,14 @@ func SolveSampledContext(ctx context.Context, in *Instance, sample SampleVDPSOpt
 	if err != nil {
 		return nil, err
 	}
-	return assignRecorded(ctx, in, g, solver, opt.Recorder)
+	res, err := assignRecorded(ctx, in, g, solver, opt.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	if err := auditResult(in, g, solver.Name(), res, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // SolveProblem runs the selected algorithm over every center of a
@@ -386,11 +458,25 @@ func SolveProblemContext(ctx context.Context, p *Problem, opt Options) (*Problem
 	if err != nil {
 		return nil, err
 	}
-	return platform.AssignContext(ctx, p, solver, platform.Options{
+	popt := platform.Options{
 		VDPS:        opt.VDPS,
 		Parallelism: opt.Parallelism,
 		Recorder:    opt.Recorder,
-	})
+	}
+	if opt.Audit {
+		aopt := auditOptions(opt)
+		popt.Audit = &aopt
+	}
+	res, err := platform.AssignContext(ctx, p, solver, popt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Audit {
+		if aerr := res.AuditErr(p); aerr != nil {
+			return nil, fmt.Errorf("fairtask: %s solve failed verification: %w", solver.Name(), aerr)
+		}
+	}
+	return res, nil
 }
 
 // Simulate runs the epoch-based platform simulation (worker lifecycles,
@@ -523,4 +609,11 @@ func RenderSVG(w io.Writer, in *Instance, a *Assignment, opt RenderOptions) erro
 // assignments must be indexed like p.Instances; nil entries are skipped.
 func WriteAssignmentCSV(w io.Writer, p *Problem, assignments []*Assignment) error {
 	return dataset.WriteAssignmentCSV(w, p, assignments)
+}
+
+// ReadAssignmentCSV parses a WriteAssignmentCSV export back into per-center
+// assignments indexed like p.Instances, resolving IDs against the problem.
+// Pair with Audit to re-verify a persisted assignment.
+func ReadAssignmentCSV(r io.Reader, p *Problem) ([]*Assignment, error) {
+	return dataset.ReadAssignmentCSV(r, p)
 }

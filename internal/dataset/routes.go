@@ -65,3 +65,111 @@ func WriteAssignmentCSV(w io.Writer, p *model.Problem, assignments []*model.Assi
 	cw.Flush()
 	return cw.Error()
 }
+
+// ReadAssignmentCSV parses the WriteAssignmentCSV format back into per-center
+// assignments indexed like p.Instances, resolving center, worker and point
+// IDs against the problem. Centers absent from the file get empty (not nil)
+// assignments, so the result can be audited or re-written directly. The
+// arrival, reward and payoff columns are ignored: they are derived data, and
+// re-deriving them is exactly what the auditor is for.
+func ReadAssignmentCSV(r io.Reader, p *model.Problem) ([]*model.Assignment, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 7
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read assignment header: %w", err)
+	}
+	want := []string{"center", "worker", "stop", "point", "arrival", "reward", "payoff"}
+	for i, col := range want {
+		if header[i] != col {
+			return nil, fmt.Errorf("dataset: assignment column %d is %q, want %q", i, header[i], col)
+		}
+	}
+
+	centers := make(map[int]int, len(p.Instances))
+	workers := make([]map[int]int, len(p.Instances))
+	points := make([]map[int]int, len(p.Instances))
+	for i := range p.Instances {
+		in := &p.Instances[i]
+		centers[in.CenterID] = i
+		workers[i] = make(map[int]int, len(in.Workers))
+		for wi := range in.Workers {
+			workers[i][in.Workers[wi].ID] = wi
+		}
+		points[i] = make(map[int]int, len(in.Points))
+		for pi := range in.Points {
+			points[i][in.Points[pi].ID] = pi
+		}
+	}
+
+	// stops[instance][worker] maps stop position -> point index; routes are
+	// materialized after reading so row order does not matter.
+	type routeKey struct{ inst, worker int }
+	stops := make(map[routeKey]map[int]int)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: assignment line %d: %w", line, err)
+		}
+		centerID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: assignment line %d: bad center %q", line, rec[0])
+		}
+		inst, ok := centers[centerID]
+		if !ok {
+			return nil, fmt.Errorf("dataset: assignment line %d: unknown center %d", line, centerID)
+		}
+		workerID, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: assignment line %d: bad worker %q", line, rec[1])
+		}
+		wi, ok := workers[inst][workerID]
+		if !ok {
+			return nil, fmt.Errorf("dataset: assignment line %d: unknown worker %d in center %d",
+				line, workerID, centerID)
+		}
+		stop, err := strconv.Atoi(rec[2])
+		if err != nil || stop < 0 {
+			return nil, fmt.Errorf("dataset: assignment line %d: bad stop %q", line, rec[2])
+		}
+		pointID, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: assignment line %d: bad point %q", line, rec[3])
+		}
+		pi, ok := points[inst][pointID]
+		if !ok {
+			return nil, fmt.Errorf("dataset: assignment line %d: unknown point %d in center %d",
+				line, pointID, centerID)
+		}
+		k := routeKey{inst, wi}
+		if stops[k] == nil {
+			stops[k] = make(map[int]int)
+		}
+		if _, dup := stops[k][stop]; dup {
+			return nil, fmt.Errorf("dataset: assignment line %d: duplicate stop %d for worker %d in center %d",
+				line, stop, workerID, centerID)
+		}
+		stops[k][stop] = pi
+	}
+
+	out := make([]*model.Assignment, len(p.Instances))
+	for i := range p.Instances {
+		out[i] = model.NewAssignment(len(p.Instances[i].Workers))
+	}
+	for k, byStop := range stops {
+		route := make([]int, len(byStop))
+		for stop, pi := range byStop {
+			if stop >= len(route) {
+				in := &p.Instances[k.inst]
+				return nil, fmt.Errorf("dataset: center %d worker %d: stop %d with only %d stops (missing earlier stop)",
+					in.CenterID, in.Workers[k.worker].ID, stop, len(byStop))
+			}
+			route[stop] = pi
+		}
+		out[k.inst].Routes[k.worker] = route
+	}
+	return out, nil
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fairtask/internal/fairness"
 	"fairtask/internal/game"
 	"fairtask/internal/model"
 	"fairtask/internal/obs"
@@ -105,8 +106,12 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 		if opt.Trace || opt.Recorder != nil {
 			sum := s.Summary()
 			st := game.IterationStat{
-				Iteration:  iter,
-				Changes:    changes,
+				Iteration: iter,
+				Changes:   changes,
+				// IEGT's raw-payoff dynamics have no potential of their own;
+				// Phi at the default IAU weights is recorded so traces stay
+				// comparable with FGT's.
+				Potential:  fairness.Potential(fairness.DefaultParams(), s.Payoffs),
 				PayoffDiff: sum.Difference,
 				AvgPayoff:  sum.Average,
 			}
@@ -117,7 +122,11 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 				opt.Recorder.RecordIteration("IEGT", st)
 			}
 		}
-		if changes == 0 || payoffsEqual(s.Payoffs, opt.Tolerance) {
+		// The sigma_dot = 0 criterion applies to the evolving population:
+		// workers with empty strategy spaces are not part of the game (their
+		// payoff is pinned at zero), so they must not block the equal-payoff
+		// test — populationAverage already excludes them for the same reason.
+		if changes == 0 || payoffsEqual(populationPayoffs(s), opt.Tolerance) {
 			res.Converged = true
 			break
 		}
@@ -127,25 +136,35 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	return res, nil
 }
 
-// populationAverage is Ubar_k (Equation 14). Every worker holds exactly one
-// strategy, so each population share sigma_km is 1/|G_k| and the
-// share-weighted average reduces to the mean payoff over workers that can
-// play at all (workers with empty strategy spaces are not part of the
-// evolving population).
-func populationAverage(s *game.State) float64 {
-	var sum float64
-	var n int
+// populationPayoffs returns the payoffs of the evolving population: workers
+// with at least one strategy. Workers with empty strategy spaces cannot play
+// and are excluded from both the average and the equal-payoff convergence
+// test.
+func populationPayoffs(s *game.State) []float64 {
+	out := make([]float64, 0, len(s.Current))
 	for w := range s.Current {
 		if len(s.Strategies[w]) == 0 {
 			continue
 		}
-		sum += s.Payoffs[w]
-		n++
+		out = append(out, s.Payoffs[w])
 	}
-	if n == 0 {
+	return out
+}
+
+// populationAverage is Ubar_k (Equation 14). Every worker holds exactly one
+// strategy, so each population share sigma_km is 1/|G_k| and the
+// share-weighted average reduces to the mean payoff over the evolving
+// population.
+func populationAverage(s *game.State) float64 {
+	p := populationPayoffs(s)
+	if len(p) == 0 {
 		return 0
 	}
-	return sum / float64(n)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	return sum / float64(len(p))
 }
 
 // randomBetterStrategy picks uniformly at random among worker w's available
@@ -234,13 +253,18 @@ func PopulationShares(s *game.State) []float64 {
 }
 
 // VerifyEquilibrium checks the improved evolutionary stable state of
-// Algorithm 3 for an existing assignment: no worker with payoff below the
-// population average has an available strategy with strictly higher payoff.
-// It returns nil for a stable assignment and a descriptive error otherwise.
+// Algorithm 3 for an existing assignment: either all population payoffs are
+// numerically equal (the sigma_dot = 0 stopping criterion), or no worker
+// with payoff below the population average has an available strategy with
+// strictly higher payoff. It returns nil for a stable assignment and a
+// descriptive error otherwise.
 func VerifyEquilibrium(g *vdps.Generator, a *model.Assignment) error {
 	s := game.NewState(g)
 	if err := s.LoadAssignment(a); err != nil {
 		return err
+	}
+	if payoffsEqual(populationPayoffs(s), 1e-9) {
+		return nil
 	}
 	ubar := populationAverage(s)
 	for w := range s.Current {

@@ -52,6 +52,21 @@ func routeEqual(a, b model.Route) bool {
 	return true
 }
 
+// NEOptions configure the Nash-equilibrium certificate.
+type NEOptions struct {
+	// Fairness holds the IAU weights; the zero value is replaced by the
+	// paper's default alpha = beta = 0.5.
+	Fairness fairness.Params
+	// Tol is the utility-gain threshold below which a deviation does not
+	// refute the equilibrium. It should be at least the solver's
+	// EpsilonUtility. Zero means 1e-9.
+	Tol float64
+	// Priorities switches the certificate to the priority-aware IAU
+	// extension; it must match the priorities the solve used (one entry per
+	// worker). Nil checks the plain IAU.
+	Priorities []float64
+}
+
 // VerifyNE checks that the assignment is a pure Nash equilibrium of the FTA
 // game under the IAU utility: no worker has an available strategy (or Null)
 // with utility more than tol above its current one. It returns nil when the
@@ -60,9 +75,17 @@ func routeEqual(a, b model.Route) bool {
 // This is the certificate form of Algorithm 2's termination condition;
 // callers can use it to audit assignments produced elsewhere.
 func VerifyNE(g *vdps.Generator, a *model.Assignment, prm fairness.Params, tol float64) error {
+	return VerifyNEOpts(g, a, NEOptions{Fairness: prm, Tol: tol})
+}
+
+// VerifyNEOpts is VerifyNE with the full option set, including the
+// priority-aware utility used when the solve ran with UsePriorities.
+func VerifyNEOpts(g *vdps.Generator, a *model.Assignment, opt NEOptions) error {
+	prm := opt.Fairness
 	if prm == (fairness.Params{}) {
 		prm = fairness.DefaultParams()
 	}
+	tol := opt.Tol
 	if tol <= 0 {
 		tol = 1e-9
 	}
@@ -74,11 +97,14 @@ func VerifyNE(g *vdps.Generator, a *model.Assignment, prm fairness.Params, tol f
 	for w := range s.Current {
 		copy(scratch, s.Payoffs)
 		scratch[w] = s.Payoffs[w]
-		cur := fairness.IAU(prm, scratch, w)
 		utility := func(p float64) float64 {
 			scratch[w] = p
+			if opt.Priorities != nil {
+				return fairness.PriorityIAU(prm, scratch, opt.Priorities, w)
+			}
 			return fairness.IAU(prm, scratch, w)
 		}
+		cur := utility(s.Payoffs[w])
 		if s.Current[w] != Null {
 			if u := utility(0); u > cur+tol {
 				return fmt.Errorf("game: worker %d improves IAU %g -> %g by going idle", w, cur, u)

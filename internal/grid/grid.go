@@ -18,7 +18,12 @@ type Index struct {
 	cells    map[cellKey][]int
 }
 
-type cellKey struct{ cx, cy int32 }
+// cellKey uses int64 coordinates: a tiny cell size over a large coordinate
+// extent (e.g. an ε of 1e-6 km on a continental dataset) produces cell
+// indices beyond int32 range, and Go's float-to-int conversion of
+// out-of-range values is implementation-defined — silently corrupting
+// neighborhoods rather than failing.
+type cellKey struct{ cx, cy int64 }
 
 // New builds an index over pts with the given cell size. A non-positive
 // cell size defaults to 1. Points are referenced by their slice index.
@@ -44,8 +49,8 @@ func New(pts []geo.Point, cellSize float64) *Index {
 
 func (ix *Index) keyOf(p geo.Point) cellKey {
 	return cellKey{
-		cx: int32(math.Floor((p.X - ix.origin.X) / ix.cellSize)),
-		cy: int32(math.Floor((p.Y - ix.origin.Y) / ix.cellSize)),
+		cx: int64(math.Floor((p.X - ix.origin.X) / ix.cellSize)),
+		cy: int64(math.Floor((p.Y - ix.origin.Y) / ix.cellSize)),
 	}
 }
 

@@ -125,3 +125,35 @@ func TestNeighborhoods(t *testing.T) {
 		}
 	}
 }
+
+// TestWithinTinyCellLargeExtent is the cell-key overflow regression test.
+// A 1e-6 cell size over a ~2147 km extent produces cell indices beyond
+// int32 range; Go's float-to-int conversion of out-of-range values is
+// implementation-defined (0x80000000 on amd64), so with 32-bit keys the
+// query's high corner collapsed below its low corner and the scan loop never
+// ran — every neighborhood near the far edge came back empty. 64-bit keys
+// make the indices exact.
+func TestWithinTinyCellLargeExtent(t *testing.T) {
+	pts := []geo.Point{
+		geo.Pt(0, 0),
+		geo.Pt(2147.4836, 0), // cell index ~2.1474836e9, just inside int32
+		geo.Pt(2147.4837, 0), // cell index ~2.1474837e9, beyond int32
+	}
+	ix := New(pts, 1e-6)
+	got := ix.Within(geo.Pt(2147.4837, 0), 2e-4, nil)
+	sort.Ints(got)
+	want := []int{1, 2} // 0.0001 apart, both within the 2e-4 radius
+	if len(got) != len(want) {
+		t.Fatalf("Within = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within = %v, want %v", got, want)
+		}
+	}
+	// The bulk form must agree.
+	nbr := ix.Neighborhoods(2e-4)
+	if len(nbr[2]) != 2 {
+		t.Errorf("Neighborhoods[2] = %v, want two points", nbr[2])
+	}
+}

@@ -14,8 +14,10 @@ type IterationStat struct {
 	Iteration int `json:"iteration"`
 	// Changes is how many workers switched strategy this round.
 	Changes int `json:"changes"`
-	// Potential is Phi = sum of IAUs after the round (FGT only; zero for
-	// IEGT, whose dynamics have no potential function).
+	// Potential is Phi = sum of IAUs after the round — at the solver's
+	// fairness weights for FGT, and at the default weights for IEGT (whose
+	// raw-payoff dynamics have no potential of their own; Phi is recorded so
+	// traces stay comparable across algorithms).
 	Potential float64 `json:"potential"`
 	// PayoffDiff is P_dif after the round.
 	PayoffDiff float64 `json:"payoff_diff"`

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fairtask/internal/assign"
+	"fairtask/internal/audit"
 	"fairtask/internal/game"
 	"fairtask/internal/model"
 	"fairtask/internal/obs"
@@ -33,6 +34,14 @@ type Options struct {
 	// obs.AssignEvent for the whole assignment; it is also threaded into
 	// VDPS generation when VDPS.Recorder is unset. Nil disables telemetry.
 	Recorder obs.Recorder
+	// Audit enables independent re-verification of every per-center result;
+	// the reports land in Result.Audit. The options' Generator, Algorithm
+	// and Converged fields are overwritten per center (the center's own
+	// generator is reused, so auditing adds no second candidate
+	// generation). Nil (the default) disables auditing. Violations are
+	// reported, not fatal — policy is the caller's (the library fails the
+	// solve, the HTTP service returns the report).
+	Audit *audit.Options
 }
 
 // Result is the outcome of a one-shot multi-center assignment.
@@ -48,6 +57,32 @@ type Result struct {
 	Average float64
 	// Elapsed is the wall-clock time of the whole solve.
 	Elapsed time.Duration
+	// Audit holds the per-center audit reports when Options.Audit was set,
+	// indexed like PerCenter (nil entries for centers without workers,
+	// which produce empty assignments without a solver run).
+	Audit []*audit.Report
+}
+
+// AuditOK reports whether every executed audit passed. It is vacuously true
+// when auditing was disabled.
+func (r *Result) AuditOK() bool {
+	for _, rep := range r.Audit {
+		if rep != nil && !rep.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditErr returns the first failed audit report's error, wrapped with its
+// center, or nil when every audit passed.
+func (r *Result) AuditErr(p *model.Problem) error {
+	for i, rep := range r.Audit {
+		if rep != nil && !rep.OK() {
+			return fmt.Errorf("center %d: %w", p.Instances[i].CenterID, rep.Err())
+		}
+	}
+	return nil
 }
 
 // ErrNoInstances is returned for a problem without instances.
@@ -78,6 +113,9 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 	}
 
 	res := &Result{PerCenter: make([]*game.Result, len(p.Instances))}
+	if opt.Audit != nil {
+		res.Audit = make([]*audit.Report, len(p.Instances))
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -97,7 +135,7 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := solveInstance(ctx, &p.Instances[i], solver, vopt, opt.Recorder)
+			r, rep, err := solveInstance(ctx, &p.Instances[i], solver, vopt, opt.Recorder, opt.Audit)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -107,6 +145,9 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 				return
 			}
 			res.PerCenter[i] = r
+			if res.Audit != nil {
+				res.Audit[i] = rep
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -137,22 +178,26 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 	return res, nil
 }
 
-// solveInstance generates VDPSs for one center and runs the solver. Centers
-// without workers yield an empty result rather than an error.
-func solveInstance(ctx context.Context, in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder) (*game.Result, error) {
+// solveInstance generates VDPSs for one center and runs the solver, followed
+// by an independent audit of the result when aopt is set. Centers without
+// workers yield an empty, unaudited result rather than an error.
+func solveInstance(ctx context.Context, in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder, aopt *audit.Options) (*game.Result, *audit.Report, error) {
 	if len(in.Workers) == 0 {
 		return &game.Result{
 			Assignment: model.NewAssignment(0),
 			Converged:  true,
-		}, nil
+		}, nil, nil
 	}
 	g, err := vdps.GenerateContext(ctx, in, vopt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	r, err := solver.Assign(ctx, g)
-	if err == nil && rec != nil {
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec != nil {
 		rec.RecordSolve(obs.SolveEvent{
 			Algorithm:  solver.Name(),
 			CenterID:   in.CenterID,
@@ -163,5 +208,13 @@ func solveInstance(ctx context.Context, in *model.Instance, solver assign.Assign
 			Elapsed:    time.Since(start),
 		})
 	}
-	return r, err
+	var rep *audit.Report
+	if aopt != nil {
+		o := *aopt
+		o.Generator = g
+		o.Algorithm = solver.Name()
+		o.Converged = r.Converged
+		rep = audit.Run(in, r.Assignment, &r.Summary, o)
+	}
+	return r, rep, nil
 }

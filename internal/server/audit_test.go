@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fairtask/internal/jobs"
+)
+
+func TestSolveWithAudit(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/solve?alg=GTA&eps=2&audit=1", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Audit == nil {
+		t.Fatal("audit=1 returned no audit block")
+	}
+	if !out.Audit.OK {
+		t.Errorf("audit failed: %+v", out.Audit.Violations)
+	}
+	if out.Audit.Centers != 2 {
+		t.Errorf("audited %d centers, want 2", out.Audit.Centers)
+	}
+	if len(out.Audit.Violations) != 0 {
+		t.Errorf("unexpected violations: %+v", out.Audit.Violations)
+	}
+
+	// The audit counters must show up on /metrics with the runs counted.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(body), "fta_audit_runs_total 2") {
+		t.Errorf("metrics missing audit runs:\n%s", grepLines(string(body), "fta_audit"))
+	}
+	if !strings.Contains(string(body), "fta_audit_failures_total 0") {
+		t.Errorf("metrics missing audit failures:\n%s", grepLines(string(body), "fta_audit"))
+	}
+}
+
+func TestSolveWithoutAuditOmitsBlock(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/solve?alg=GTA&eps=2", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), `"audit"`) {
+		t.Errorf("audit block present without audit=1: %s", body)
+	}
+}
+
+func TestSolveBadAuditParam(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/solve?alg=GTA&audit=banana", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestJobsWithAudit checks the async path inherits the audit option from the
+// shared request parser.
+func TestJobsWithAudit(t *testing.T) {
+	h, _ := newJobServer(t, jobs.Config{Workers: 2, QueueDepth: 8})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs?alg=GTA&eps=2&audit=true", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp.Body)
+	out := pollJob(t, srv.URL, job.ID)
+	if out.State != "done" {
+		t.Fatalf("job state = %q: %+v", out.State, out)
+	}
+	if out.Result == nil || out.Result.Audit == nil {
+		t.Fatalf("job result missing audit block: %+v", out)
+	}
+	if !out.Result.Audit.OK {
+		t.Errorf("job audit failed: %+v", out.Result.Audit.Violations)
+	}
+}
+
+// grepLines returns the lines of s containing sub, for terse test failures.
+func grepLines(s, sub string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

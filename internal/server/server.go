@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fairtask/internal/assign"
+	"fairtask/internal/audit"
 	"fairtask/internal/dataset"
 	"fairtask/internal/jobs"
 	"fairtask/internal/model"
@@ -37,7 +38,7 @@ type Factory func(algorithm string, seed int64) (assign.Assigner, error)
 //	GET  /healthz           -> 200 "ok"
 //	GET  /readyz            -> JSON queue/drain state; 503 while draining
 //	GET  /metrics           -> Prometheus text exposition of Registry
-//	POST /solve?alg=FGT&eps=2&seed=1&parallel=4
+//	POST /solve?alg=FGT&eps=2&seed=1&parallel=4&audit=1
 //	     body: problem CSV  -> JSON SolveResponse (synchronous)
 //	POST /jobs?alg=...      -> 202 JSON JobResponse; 429 when the queue is full
 //	GET  /jobs/{id}         -> JSON JobResponse (Result populated when done)
@@ -79,6 +80,7 @@ func New(factory Factory) *Handler {
 	h.mux.HandleFunc("GET /jobs/{id}", h.jobGet)
 	h.mux.HandleFunc("DELETE /jobs/{id}", h.jobCancel)
 	seedHTTPMetrics(h.Registry)
+	obs.NewAuditMetrics(h.Registry)
 	return h
 }
 
@@ -147,15 +149,35 @@ type WorkerRoute struct {
 	Payoff float64 `json:"payoff"`
 }
 
+// AuditViolation is one invariant violation found by the assignment auditor,
+// tagged with the distribution center it occurred in.
+type AuditViolation struct {
+	Center int    `json:"center"`
+	Check  string `json:"check"`
+	Worker int    `json:"worker"`
+	Detail string `json:"detail"`
+}
+
+// AuditResponse summarizes the independent re-verification of a solve
+// (requested with ?audit=1). Unlike the library, the service reports
+// violations instead of failing the request: the caller gets the assignment
+// and decides what to do with a failed audit.
+type AuditResponse struct {
+	OK         bool             `json:"ok"`
+	Centers    int              `json:"centers"`
+	Violations []AuditViolation `json:"violations,omitempty"`
+}
+
 // SolveResponse is the JSON result of POST /solve.
 type SolveResponse struct {
-	Algorithm  string        `json:"algorithm"`
-	Workers    int           `json:"workers"`
-	Difference float64       `json:"payoff_difference"`
-	Average    float64       `json:"average_payoff"`
-	Gini       float64       `json:"gini"`
-	ElapsedMS  float64       `json:"elapsed_ms"`
-	Routes     []WorkerRoute `json:"routes"`
+	Algorithm  string         `json:"algorithm"`
+	Workers    int            `json:"workers"`
+	Difference float64        `json:"payoff_difference"`
+	Average    float64        `json:"average_payoff"`
+	Gini       float64        `json:"gini"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	Routes     []WorkerRoute  `json:"routes"`
+	Audit      *AuditResponse `json:"audit,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -216,6 +238,17 @@ func (h *Handler) parseSolveRequest(w http.ResponseWriter, r *http.Request) *sol
 		}
 		par = v
 	}
+	var aopt *audit.Options
+	if s := q.Get("audit"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad audit")
+			return nil
+		}
+		if v {
+			aopt = &audit.Options{VDPS: vdps.Options{Epsilon: eps}}
+		}
+	}
 
 	prob, err := dataset.ReadCSV(r.Body)
 	if err != nil {
@@ -240,8 +273,47 @@ func (h *Handler) parseSolveRequest(w http.ResponseWriter, r *http.Request) *sol
 			VDPS:        vdps.Options{Epsilon: eps},
 			Parallelism: par,
 			Recorder:    h.Recorder,
+			Audit:       aopt,
 		},
 	}
+}
+
+// auditResponse folds the per-center audit reports into the response block
+// and bumps the audit metrics. Returns nil when auditing was off.
+func (h *Handler) auditResponse(prob *model.Problem, res *platform.Result) *AuditResponse {
+	if res.Audit == nil {
+		return nil
+	}
+	var am *obs.AuditMetrics
+	if h.Registry != nil {
+		am = obs.NewAuditMetrics(h.Registry)
+	}
+	ar := &AuditResponse{OK: true}
+	for i, rep := range res.Audit {
+		if rep == nil {
+			continue
+		}
+		ar.Centers++
+		if am != nil {
+			am.Runs.Inc()
+		}
+		if rep.OK() {
+			continue
+		}
+		ar.OK = false
+		if am != nil {
+			am.Failures.Inc()
+		}
+		for _, v := range rep.Violations {
+			ar.Violations = append(ar.Violations, AuditViolation{
+				Center: prob.Instances[i].CenterID,
+				Check:  string(v.Check),
+				Worker: v.Worker,
+				Detail: v.Detail,
+			})
+		}
+	}
+	return ar
 }
 
 // runSolve executes a parsed solve request and builds the response body.
@@ -258,6 +330,7 @@ func (h *Handler) runSolve(ctx context.Context, req *solveRequest) (*SolveRespon
 		Average:    res.Average,
 		Gini:       payoff.Gini(res.Payoffs),
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Audit:      h.auditResponse(req.prob, res),
 	}
 	for i, pc := range res.PerCenter {
 		in := &req.prob.Instances[i]

@@ -1,0 +1,123 @@
+package vdps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairtask/internal/geo"
+	"fairtask/internal/model"
+	"fairtask/internal/travel"
+)
+
+// assertFrontierMonotone checks the documented frontier contract on every
+// candidate: non-empty, sorted by strictly ascending Time, and — because
+// dominance removes any state that is no slower and no slacker than another —
+// strictly ascending Slack too.
+func assertFrontierMonotone(t *testing.T, g *Generator) {
+	t.Helper()
+	for ci := range g.Candidates() {
+		c := &g.Candidates()[ci]
+		if len(c.Frontier) == 0 {
+			t.Fatalf("candidate %v has an empty frontier", c.Points)
+		}
+		for i := 1; i < len(c.Frontier); i++ {
+			prev, cur := c.Frontier[i-1], c.Frontier[i]
+			if !(cur.Time > prev.Time) {
+				t.Errorf("candidate %v: frontier Time not strictly ascending: %g after %g",
+					c.Points, cur.Time, prev.Time)
+			}
+			if !(cur.Slack > prev.Slack) {
+				t.Errorf("candidate %v: frontier Slack not strictly ascending: %g after %g",
+					c.Points, cur.Slack, prev.Slack)
+			}
+		}
+	}
+}
+
+// TestFrontierTwoStateDeterministic pins a hand-computed two-state frontier.
+// Point A at (1,0) with a loose deadline, point B at (0,1.2) with a tight
+// one:
+//
+//	A then B: time 1 + |A-B| = 1 + sqrt(1+1.44) = 2.562, slack
+//	          min(10-1, 3-2.562) = 0.438
+//	B then A: time 1.2 + |B-A| = 2.762, slack min(3-1.2, 10-2.762) = 1.8
+//
+// Neither order dominates: A-first is faster, B-first has more slack, so the
+// {A,B} frontier must keep both states, ascending in both coordinates.
+func TestFrontierTwoStateDeterministic(t *testing.T) {
+	in := &model.Instance{
+		Center: geo.Pt(0, 0),
+		Travel: travel.MustModel(geo.Euclidean{}, 1),
+		Points: []model.DeliveryPoint{
+			{ID: 0, Loc: geo.Pt(1, 0), Tasks: []model.Task{{ID: 0, Point: 0, Expiry: 10, Reward: 1}}},
+			{ID: 1, Loc: geo.Pt(0, 1.2), Tasks: []model.Task{{ID: 1, Point: 1, Expiry: 3, Reward: 1}}},
+		},
+		Workers: []model.Worker{{ID: 0, Loc: geo.Pt(0, 0), MaxDP: 2}},
+	}
+	g, err := Generate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFrontierMonotone(t, g)
+
+	var pair *Candidate
+	for ci := range g.Candidates() {
+		if len(g.Candidates()[ci].Points) == 2 {
+			pair = &g.Candidates()[ci]
+		}
+	}
+	if pair == nil {
+		t.Fatal("pair candidate {0,1} not generated")
+	}
+	if len(pair.Frontier) != 2 {
+		t.Fatalf("pair frontier has %d states, want 2: %+v", len(pair.Frontier), pair.Frontier)
+	}
+	ab := 1 + math.Hypot(1, 1.2)
+	ba := 1.2 + math.Hypot(1, 1.2)
+	if math.Abs(pair.Frontier[0].Time-ab) > 1e-9 || math.Abs(pair.Frontier[0].Slack-(3-ab)) > 1e-9 {
+		t.Errorf("first state = %+v, want time %g slack %g", pair.Frontier[0], ab, 3-ab)
+	}
+	if math.Abs(pair.Frontier[1].Time-ba) > 1e-9 || math.Abs(pair.Frontier[1].Slack-1.8) > 1e-9 {
+		t.Errorf("second state = %+v, want time %g slack 1.8", pair.Frontier[1], ba)
+	}
+}
+
+// TestFrontierMonotoneRandom sweeps random instances with heterogeneous
+// expiries — the regime that actually produces multi-state frontiers — and
+// asserts the monotonicity contract on every candidate.
+func TestFrontierMonotoneRandom(t *testing.T) {
+	multi := 0
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := &model.Instance{
+			Center: geo.Pt(0, 0),
+			Travel: travel.MustModel(geo.Euclidean{}, 1),
+		}
+		for i := 0; i < 7; i++ {
+			in.Points = append(in.Points, model.DeliveryPoint{
+				ID:  i,
+				Loc: geo.Pt(rng.Float64()*4-2, rng.Float64()*4-2),
+				Tasks: []model.Task{{
+					ID: i, Point: i,
+					Expiry: 2 + rng.Float64()*8,
+					Reward: 1,
+				}},
+			})
+		}
+		in.Workers = []model.Worker{{ID: 0, MaxDP: 3}}
+		g, err := Generate(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFrontierMonotone(t, g)
+		for ci := range g.Candidates() {
+			if len(g.Candidates()[ci].Frontier) > 1 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-state frontier across all seeds; test exercises nothing")
+	}
+}

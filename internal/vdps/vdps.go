@@ -86,7 +86,9 @@ type Candidate struct {
 	// Mask is the same set as a bit set, for O(1) disjointness tests.
 	Mask bitset.Set
 	// Frontier holds the non-dominated (Time, Slack) states, sorted by
-	// ascending Time (hence descending Slack).
+	// ascending Time. Dominance prunes every state that is no slower and no
+	// slacker than another, so a slower state survives only with strictly
+	// more slack: Slack is strictly ascending along the frontier too.
 	Frontier []State
 	// Reward is the total reward of all tasks on the set's points.
 	Reward float64
@@ -104,8 +106,9 @@ func (c *Candidate) MaxSlack() float64 {
 // BestFor returns the minimal-time state usable by a worker with the given
 // approach time, or ok == false when no state fits.
 func (c *Candidate) BestFor(approach float64) (State, bool) {
-	// Frontier is sorted by ascending time and descending slack; the first
-	// state with Slack >= approach is the fastest usable one.
+	// Frontier is sorted by ascending time (and, by Pareto dominance,
+	// ascending slack); scanning in time order makes the first state with
+	// Slack >= approach the fastest usable one.
 	for _, st := range c.Frontier {
 		if st.Slack >= approach {
 			return st, true
