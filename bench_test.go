@@ -130,6 +130,25 @@ func BenchmarkSolveMPTA(b *testing.B) { benchSolve(b, fairtask.AlgMPTA, 0.6) }
 func BenchmarkSolveFGT(b *testing.B)  { benchSolve(b, fairtask.AlgFGT, 0.6) }
 func BenchmarkSolveIEGT(b *testing.B) { benchSolve(b, fairtask.AlgIEGT, 0.6) }
 
+// benchSolveW200 is the large-population workload of ISSUE 4's incremental
+// fairness kernel: 200 workers make the O(W) vs O(log W) best-response gap
+// visible (see docs/PERFORMANCE.md and BENCH_game.json).
+func benchSolveW200(b *testing.B, alg fairtask.Algorithm) {
+	b.Helper()
+	in := benchGM(b, 1000, 200, 150)
+	opt := fairtask.Options{Algorithm: alg, Seed: 1, VDPS: fairtask.VDPSOptions{Epsilon: 0.6}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fairtask.Solve(in, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveFGTW200(b *testing.B)  { benchSolveW200(b, fairtask.AlgFGT) }
+func BenchmarkSolveIEGTW200(b *testing.B) { benchSolveW200(b, fairtask.AlgIEGT) }
+
 // Ablation: VDPS generation with and without distance-constrained pruning
 // (the paper's claim is pruning preserves results while cutting CPU time).
 func BenchmarkVDPSGenPruned(b *testing.B) {

@@ -178,7 +178,7 @@ func components(s *game.State, topK int) [][]int {
 			limit = topK
 		}
 		for si := 0; si < limit; si++ {
-			for _, p := range s.Strategies[w][si].Seq {
+			for _, p := range s.StrategySeq(w, si) {
 				if prev, ok := pointToWorker[p]; ok {
 					union(prev, w)
 				} else {

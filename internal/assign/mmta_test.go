@@ -61,8 +61,9 @@ func TestMMTALocalMaxMinOptimum(t *testing.T) {
 		if len(r) == 0 {
 			continue
 		}
-		for si, st := range s.Strategies[w] {
-			if len(st.Seq) == len(r) && routeEq(st.Seq, r) {
+		for si := range s.Strategies[w] {
+			seq := s.StrategySeq(w, si)
+			if len(seq) == len(r) && routeEq(seq, r) {
 				s.Switch(w, si)
 				break
 			}

@@ -76,7 +76,18 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	rng := rand.New(rand.NewSource(opt.Seed))
 	s.RandomInit(rng)
 
+	var tracker *game.SummaryTracker
+	if opt.Trace || opt.Recorder != nil {
+		tracker = game.NewSummaryTracker(s)
+	}
+
 	res := &game.Result{}
+	// Population membership (workers with a non-empty strategy space) is
+	// fixed for the whole run, so the per-round average and equal-payoff
+	// checks fold into allocation-free scans over s.Payoffs that visit the
+	// same workers in the same order as the populationPayoffs slice the
+	// reference builds — the accumulated values are bit-identical.
+	var cand []int // scratch for random strategy selection
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -90,21 +101,24 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 			if s.Payoffs[w] >= ubar {
 				continue
 			}
+			si, ok := -1, false
 			if opt.MutationRate > 0 && rng.Float64() < opt.MutationRate {
-				if si, ok := randomAvailableStrategy(s, w, rng); ok {
-					s.Switch(w, si)
-					changes++
-					continue
-				}
+				si, ok = randomAvailableStrategy(s, w, rng, &cand)
 			}
-			if si, ok := randomBetterStrategy(s, w, rng); ok {
+			if !ok {
+				si, ok = randomBetterStrategy(s, w, rng, &cand)
+			}
+			if ok {
 				s.Switch(w, si)
+				if tracker != nil {
+					tracker.Update(w)
+				}
 				changes++
 			}
 		}
 		res.Iterations = iter
-		if opt.Trace || opt.Recorder != nil {
-			sum := s.Summary()
+		if tracker != nil {
+			diff, avg := tracker.DiffAvg()
 			st := game.IterationStat{
 				Iteration: iter,
 				Changes:   changes,
@@ -112,8 +126,8 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 				// Phi at the default IAU weights is recorded so traces stay
 				// comparable with FGT's.
 				Potential:  fairness.Potential(fairness.DefaultParams(), s.Payoffs),
-				PayoffDiff: sum.Difference,
-				AvgPayoff:  sum.Average,
+				PayoffDiff: diff,
+				AvgPayoff:  avg,
 			}
 			if opt.Trace {
 				res.Trace = append(res.Trace, st)
@@ -125,8 +139,8 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 		// The sigma_dot = 0 criterion applies to the evolving population:
 		// workers with empty strategy spaces are not part of the game (their
 		// payoff is pinned at zero), so they must not block the equal-payoff
-		// test — populationAverage already excludes them for the same reason.
-		if changes == 0 || payoffsEqual(populationPayoffs(s), opt.Tolerance) {
+		// test — the population average excludes them for the same reason.
+		if changes == 0 || populationEqual(s, opt.Tolerance) {
 			res.Converged = true
 			break
 		}
@@ -134,6 +148,31 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	res.Assignment = s.Assignment()
 	res.Summary = s.Summary()
 	return res, nil
+}
+
+// populationEqual reports whether the evolving population's payoffs all lie
+// within tol of each other, the allocation-free form of
+// payoffsEqual(populationPayoffs(s), tol).
+func populationEqual(s *game.State, tol float64) bool {
+	min, max := math.Inf(1), math.Inf(-1)
+	n := 0
+	for w := range s.Current {
+		if len(s.Strategies[w]) == 0 {
+			continue
+		}
+		v := s.Payoffs[w]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		n++
+	}
+	if n < 2 {
+		return true
+	}
+	return max-min <= tol
 }
 
 // populationPayoffs returns the payoffs of the evolving population: workers
@@ -154,28 +193,37 @@ func populationPayoffs(s *game.State) []float64 {
 // populationAverage is Ubar_k (Equation 14). Every worker holds exactly one
 // strategy, so each population share sigma_km is 1/|G_k| and the
 // share-weighted average reduces to the mean payoff over the evolving
-// population.
+// population. The scan visits workers in the same order populationPayoffs
+// appends them, so the accumulated sum — and the hot loop's switch decisions
+// that hinge on it — is bit-identical to averaging the materialized slice,
+// without the per-round allocation.
 func populationAverage(s *game.State) float64 {
-	p := populationPayoffs(s)
-	if len(p) == 0 {
+	var sum float64
+	n := 0
+	for w := range s.Current {
+		if len(s.Strategies[w]) == 0 {
+			continue
+		}
+		sum += s.Payoffs[w]
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range p {
-		sum += v
-	}
-	return sum / float64(len(p))
+	return sum / float64(n)
 }
 
 // randomBetterStrategy picks uniformly at random among worker w's available
 // strategies with payoff strictly above the current one (Algorithm 3,
-// lines 23-25).
-func randomBetterStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
+// lines 23-25). The candidate list is gathered into *buf, reused across
+// calls; candidate order and rng consumption match the pre-scratch form, so
+// the selected strategy is bit-identical for the same rng state.
+func randomBetterStrategy(s *game.State, w int, rng *rand.Rand, buf *[]int) (int, bool) {
 	cur := 0.0
 	if s.Current[w] != game.Null {
 		cur = s.Payoffs[w]
 	}
-	var better []int
+	better := (*buf)[:0]
 	for si := range s.Strategies[w] {
 		if si == s.Current[w] {
 			continue
@@ -184,6 +232,7 @@ func randomBetterStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
 			better = append(better, si)
 		}
 	}
+	*buf = better
 	if len(better) == 0 {
 		return game.Null, false
 	}
@@ -191,14 +240,16 @@ func randomBetterStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
 }
 
 // randomAvailableStrategy picks uniformly among all of worker w's available
-// strategies other than the current one (the mutation operator).
-func randomAvailableStrategy(s *game.State, w int, rng *rand.Rand) (int, bool) {
-	var avail []int
+// strategies other than the current one (the mutation operator). *buf is the
+// shared candidate scratch, as in randomBetterStrategy.
+func randomAvailableStrategy(s *game.State, w int, rng *rand.Rand, buf *[]int) (int, bool) {
+	avail := (*buf)[:0]
 	for si := range s.Strategies[w] {
 		if si != s.Current[w] && s.Available(w, si) {
 			avail = append(avail, si)
 		}
 	}
+	*buf = avail
 	if len(avail) == 0 {
 		return game.Null, false
 	}
@@ -263,7 +314,7 @@ func VerifyEquilibrium(g *vdps.Generator, a *model.Assignment) error {
 	if err := s.LoadAssignment(a); err != nil {
 		return err
 	}
-	if payoffsEqual(populationPayoffs(s), 1e-9) {
+	if populationEqual(s, 1e-9) {
 		return nil
 	}
 	ubar := populationAverage(s)
@@ -279,7 +330,7 @@ func VerifyEquilibrium(g *vdps.Generator, a *model.Assignment) error {
 			if s.Strategies[w][si].Payoff > cur && s.Available(w, si) {
 				return fmt.Errorf(
 					"evo: worker %d (payoff %g, below average %g) can still improve via %v",
-					w, cur, ubar, s.Strategies[w][si].Seq)
+					w, cur, ubar, s.StrategySeq(w, si))
 			}
 		}
 	}

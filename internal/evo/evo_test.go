@@ -84,8 +84,8 @@ func TestIEGTEquilibriumCondition(t *testing.T) {
 		if len(r) == 0 {
 			continue
 		}
-		for si, st := range s.Strategies[w] {
-			if routesEqual(st.Seq, r) {
+		for si := range s.Strategies[w] {
+			if routesEqual(s.StrategySeq(w, si), r) {
 				s.Switch(w, si)
 				break
 			}
@@ -96,7 +96,8 @@ func TestIEGTEquilibriumCondition(t *testing.T) {
 		if s.Payoffs[w] >= ubar || len(s.Strategies[w]) == 0 {
 			continue
 		}
-		if _, ok := randomBetterStrategy(s, w, rand.New(rand.NewSource(0))); ok {
+		var buf []int
+		if _, ok := randomBetterStrategy(s, w, rand.New(rand.NewSource(0)), &buf); ok {
 			t.Errorf("worker %d is below average (%g < %g) yet has a better available strategy",
 				w, s.Payoffs[w], ubar)
 		}

@@ -87,22 +87,40 @@ func Potential(p Params, payoffs []float64) float64 {
 	return phi
 }
 
+// NormalizedPayoff returns the priority-normalized payoff the priority-aware
+// IAU compares workers by: payoff / priority, with non-positive priorities
+// treated as 1.
+func NormalizedPayoff(payoff, priority float64) float64 {
+	if priority <= 0 {
+		priority = 1
+	}
+	return payoff / priority
+}
+
 // PriorityIAU is the priority-aware fairness extension (paper §VIII): the
 // inequity penalties compare priority-normalized payoffs P_j / priority_j,
 // so a high-priority worker is "entitled" to proportionally higher payoff
 // before being considered advantaged.
 func PriorityIAU(p Params, payoffs, priorities []float64, i int) float64 {
+	return PriorityIAUBuf(p, payoffs, priorities, i, nil)
+}
+
+// PriorityIAUBuf is PriorityIAU with a caller-provided scratch buffer for
+// the normalized payoffs, for hot loops that would otherwise allocate one
+// slice per call. norm is grown when too small; passing a buffer of
+// len(payoffs) capacity makes the call allocation-free. The result is
+// bit-identical to PriorityIAU.
+func PriorityIAUBuf(p Params, payoffs, priorities []float64, i int, norm []float64) float64 {
 	n := len(payoffs)
 	if n < 2 {
 		return payoffs[i]
 	}
-	norm := make([]float64, n)
+	if cap(norm) < n {
+		norm = make([]float64, n)
+	}
+	norm = norm[:n]
 	for j := range payoffs {
-		pr := priorities[j]
-		if pr <= 0 {
-			pr = 1
-		}
-		norm[j] = payoffs[j] / pr
+		norm[j] = NormalizedPayoff(payoffs[j], priorities[j])
 	}
 	scale := 1 / float64(n-1)
 	return payoffs[i] - p.Alpha*scale*MP(norm, i) - p.Beta*scale*LP(norm, i)

@@ -1,0 +1,243 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// approxEqual bounds the last-ulp divergence the aggregate MP/LP form is
+// allowed versus the reference scan (see the Index doc comment).
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol
+}
+
+// valuePool deliberately contains ties, zero and near values so the
+// equal-rank exclusion paths are exercised.
+var valuePool = []float64{0, 0, 0.5, 0.5, 1, 1.25, 1.25, 2, 2.75, 3, 3, 4.5}
+
+func randomPayoffs(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = valuePool[rng.Intn(len(valuePool))]
+	}
+	return out
+}
+
+// buildIndex constructs an index holding payoffs.
+func buildIndex(prm Params, payoffs, priorities []float64) *Index {
+	ix := NewIndex(prm, len(payoffs), priorities)
+	for w, p := range payoffs {
+		ix.Update(w, p)
+	}
+	return ix
+}
+
+// referenceUtility is the scratch-copy form the index replaces: worker w's
+// IAU if its payoff became p, all others fixed.
+func referenceUtility(prm Params, payoffs, priorities []float64, w int, p float64) float64 {
+	scratch := append([]float64(nil), payoffs...)
+	scratch[w] = p
+	if priorities != nil {
+		return PriorityIAU(prm, scratch, priorities, w)
+	}
+	return IAU(prm, scratch, w)
+}
+
+func TestIndexMatchesReference(t *testing.T) {
+	prm := DefaultParams()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		payoffs := randomPayoffs(rng, n)
+		ix := buildIndex(prm, payoffs, nil)
+		for w := 0; w < n; w++ {
+			// Stored-value queries.
+			wantMP, wantLP := MP(payoffs, w), LP(payoffs, w)
+			mp, lp := ix.Inequity(w, payoffs[w])
+			if !approxEqual(mp, wantMP) || !approxEqual(lp, wantLP) {
+				t.Fatalf("seed %d worker %d: Inequity = (%g, %g), reference (%g, %g)",
+					seed, w, mp, lp, wantMP, wantLP)
+			}
+			if got, want := ix.CurrentUtility(w), IAU(prm, payoffs, w); !approxEqual(got, want) {
+				t.Fatalf("seed %d worker %d: CurrentUtility = %g, reference %g", seed, w, got, want)
+			}
+			// Hypothetical queries over the whole pool, including values
+			// equal to other workers' payoffs (tie exclusion) and zero.
+			for _, p := range valuePool {
+				got := ix.Utility(w, p)
+				want := referenceUtility(prm, payoffs, nil, w, p)
+				if !approxEqual(got, want) {
+					t.Fatalf("seed %d worker %d p=%g: Utility = %g, reference %g",
+						seed, w, p, got, want)
+				}
+			}
+		}
+		if got, want := ix.Potential(), Potential(prm, payoffs); !approxEqual(got, want) {
+			t.Fatalf("seed %d: Potential = %g, reference %g", seed, got, want)
+		}
+		ref := All(prm, payoffs)
+		all := ix.All(nil)
+		for w := range ref {
+			if !approxEqual(all[w], ref[w]) {
+				t.Fatalf("seed %d worker %d: All = %g, reference %g", seed, w, all[w], ref[w])
+			}
+		}
+	}
+}
+
+func TestIndexPriorityMatchesReference(t *testing.T) {
+	prm := Params{Alpha: 0.7, Beta: 0.3}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		payoffs := randomPayoffs(rng, n)
+		priorities := make([]float64, n)
+		for i := range priorities {
+			// Include the non-positive priorities NormalizedPayoff treats
+			// as 1.
+			priorities[i] = []float64{-1, 0, 0.5, 1, 2, 4}[rng.Intn(6)]
+		}
+		ix := buildIndex(prm, payoffs, priorities)
+		for w := 0; w < n; w++ {
+			for _, p := range valuePool {
+				got := ix.Utility(w, p)
+				want := referenceUtility(prm, payoffs, priorities, w, p)
+				if !approxEqual(got, want) {
+					t.Fatalf("seed %d worker %d p=%g: priority Utility = %g, reference %g",
+						seed, w, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexHistoryIndependence pins the bit-exactness invariant the solver
+// determinism tests rely on: two update sequences reaching the same payoff
+// state must answer every query with the exact same bits.
+func TestIndexHistoryIndependence(t *testing.T) {
+	prm := DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	final := randomPayoffs(rng, n)
+
+	direct := buildIndex(prm, final, nil)
+
+	meandering := buildIndex(prm, make([]float64, n), nil)
+	for round := 0; round < 50; round++ {
+		w := rng.Intn(n)
+		meandering.Update(w, valuePool[rng.Intn(len(valuePool))])
+	}
+	for w, p := range final {
+		meandering.Update(w, p)
+	}
+
+	for w := 0; w < n; w++ {
+		for _, p := range valuePool {
+			a, b := direct.Utility(w, p), meandering.Utility(w, p)
+			if a != b {
+				t.Fatalf("worker %d p=%g: direct %g != meandering %g (history leaked into aggregates)",
+					w, p, a, b)
+			}
+		}
+	}
+}
+
+func TestIndexSingleWorker(t *testing.T) {
+	ix := NewIndex(DefaultParams(), 1, nil)
+	ix.Update(0, 3)
+	if got := ix.Utility(0, 3); got != 3 {
+		t.Fatalf("single-worker Utility = %g, want raw payoff 3", got)
+	}
+}
+
+func TestIndexUtilityAllocationFree(t *testing.T) {
+	payoffs := []float64{0, 1, 1, 2.75, 0.5, 3}
+	ix := buildIndex(DefaultParams(), payoffs, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		ix.Utility(2, 2.75)
+		ix.Inequity(4, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Index.Utility allocated %v objects per run, want 0", allocs)
+	}
+}
+
+func TestPriorityIAUBufAllocationFreeAndIdentical(t *testing.T) {
+	prm := DefaultParams()
+	payoffs := []float64{0, 1, 1, 2.75, 0.5, 3}
+	priorities := []float64{1, 2, 0.5, 1, 4, 1}
+	buf := make([]float64, len(payoffs))
+	for i := range payoffs {
+		got := PriorityIAUBuf(prm, payoffs, priorities, i, buf)
+		want := PriorityIAU(prm, payoffs, priorities, i)
+		if got != want {
+			t.Fatalf("worker %d: PriorityIAUBuf = %g, PriorityIAU = %g (must be bit-identical)",
+				i, got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		PriorityIAUBuf(prm, payoffs, priorities, 3, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PriorityIAUBuf allocated %v objects per run, want 0", allocs)
+	}
+}
+
+// FuzzIndexUtility cross-checks arbitrary four-worker payoff vectors against
+// the reference scan.
+func FuzzIndexUtility(f *testing.F) {
+	f.Add(0.0, 1.0, 1.0, 2.5, 1.0)
+	f.Add(3.25, 0.0, 3.25, 0.125, 0.0)
+	f.Add(-1.5, 2.0, 0.0, 2.0, 2.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, probe float64) {
+		for _, v := range []float64{a, b, c, d, probe} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		prm := DefaultParams()
+		payoffs := []float64{a, b, c, d}
+		ix := NewIndex(prm, len(payoffs), nil)
+		for w, p := range payoffs {
+			ix.Update(w, p)
+		}
+		for w := range payoffs {
+			got := ix.Utility(w, probe)
+			want := referenceUtility(prm, payoffs, nil, w, probe)
+			if !approxEqual(got, want) {
+				t.Fatalf("worker %d probe %g: Utility = %g, reference %g", w, probe, got, want)
+			}
+		}
+	})
+}
+
+func BenchmarkIAUIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	payoffs := randomPayoffs(rng, n)
+	ix := buildIndex(DefaultParams(), payoffs, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Utility(i%n, valuePool[i%len(valuePool)])
+	}
+}
+
+// BenchmarkIAUReference is the O(W) scan the index replaces, for comparison
+// with BenchmarkIAUIndex.
+func BenchmarkIAUReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	payoffs := randomPayoffs(rng, n)
+	prm := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IAU(prm, payoffs, i%n)
+	}
+}

@@ -98,9 +98,13 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	s.RandomInit(rng)
 
 	priorities := workerPriorities(s.Instance(), opt.UsePriorities)
+	idx := newUtilityIndex(s, opt.Fairness, priorities)
+	var tracker *SummaryTracker
+	if opt.Trace || opt.Recorder != nil {
+		tracker = NewSummaryTracker(s)
+	}
 
 	res := &Result{}
-	scratch := make([]float64, len(s.Payoffs))
 	order := make([]int, len(s.Current))
 	for i := range order {
 		order[i] = i
@@ -114,20 +118,26 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 		}
 		changes := 0
 		for _, w := range order {
-			if best, ok := bestResponse(s, w, opt, priorities, scratch); ok && best != s.Current[w] {
+			if best, ok := bestResponse(s, idx, w, opt); ok && best != s.Current[w] {
 				s.Switch(w, best)
+				idx.Update(w, s.Payoffs[w])
+				if tracker != nil {
+					tracker.Update(w)
+				}
 				changes++
 			}
 		}
 		res.Iterations = iter
-		if opt.Trace || opt.Recorder != nil {
-			sum := s.Summary()
+		if tracker != nil {
+			diff, avg := tracker.DiffAvg()
 			st := IterationStat{
-				Iteration:  iter,
-				Changes:    changes,
+				Iteration: iter,
+				Changes:   changes,
+				// The reference O(W^2) potential keeps traces bit-comparable
+				// across solver generations; see docs/PERFORMANCE.md.
 				Potential:  fairness.Potential(opt.Fairness, s.Payoffs),
-				PayoffDiff: sum.Difference,
-				AvgPayoff:  sum.Average,
+				PayoffDiff: diff,
+				AvgPayoff:  avg,
 			}
 			if opt.Trace {
 				res.Trace = append(res.Trace, st)
@@ -146,41 +156,49 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// newUtilityIndex builds the incremental IAU index over the state's current
+// payoffs.
+func newUtilityIndex(s *State, prm fairness.Params, priorities []float64) *fairness.Index {
+	idx := fairness.NewIndex(prm, len(s.Current), priorities)
+	for w, p := range s.Payoffs {
+		if p != 0 {
+			idx.Update(w, p)
+		}
+	}
+	return idx
+}
+
 // bestResponse returns worker w's utility-maximizing available strategy
 // (Equation 10) under the current joint strategy of the others, preferring
 // the incumbent on ties so a Nash equilibrium is a true fixed point.
 // The second return value is false when the worker has no strategies at all.
-func bestResponse(s *State, w int, opt Options, priorities []float64, scratch []float64) (int, bool) {
+//
+// Each candidate utility is one O(log V) index query instead of the
+// reference's O(W) payoff rescan, and the always-available null strategy is
+// evaluated exactly once (the reference recomputed utility(0) a second time
+// when the incumbent was already Null). The loop performs no allocations.
+func bestResponse(s *State, idx *fairness.Index, w int, opt Options) (int, bool) {
 	if len(s.Strategies[w]) == 0 {
 		return Null, false
 	}
-	copy(scratch, s.Payoffs)
-
-	utility := func(p float64) float64 {
-		scratch[w] = p
-		if priorities != nil {
-			return fairness.PriorityIAU(opt.Fairness, scratch, priorities, w)
-		}
-		return fairness.IAU(opt.Fairness, scratch, w)
-	}
 
 	best := s.Current[w]
+	nullU := idx.Utility(w, 0)
 	var bestU float64
 	if best == Null {
-		bestU = utility(0)
+		bestU = nullU
 	} else {
-		bestU = utility(s.Payoffs[w])
-	}
-
-	// The null strategy is always available.
-	if u := utility(0); s.Current[w] != Null && u > bestU+opt.EpsilonUtility {
-		best, bestU = Null, u
+		bestU = idx.Utility(w, s.Payoffs[w])
+		// The null strategy is always available.
+		if nullU > bestU+opt.EpsilonUtility {
+			best, bestU = Null, nullU
+		}
 	}
 	for si := range s.Strategies[w] {
 		if si == s.Current[w] || !s.Available(w, si) {
 			continue
 		}
-		if u := utility(s.Strategies[w][si].Payoff); u > bestU+opt.EpsilonUtility {
+		if u := idx.Utility(w, s.Strategies[w][si].Payoff); u > bestU+opt.EpsilonUtility {
 			best, bestU = si, u
 		}
 	}

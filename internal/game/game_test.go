@@ -120,7 +120,7 @@ func TestRandomInitSingletonsAndDisjoint(t *testing.T) {
 		if si == Null {
 			continue
 		}
-		seq := s.Strategies[w][si].Seq
+		seq := s.StrategySeq(w, si)
 		if len(seq) != 1 {
 			t.Errorf("worker %d initialized with non-singleton %v", w, seq)
 		}
@@ -172,8 +172,8 @@ func TestFGTNashEquilibrium(t *testing.T) {
 			continue
 		}
 		found := false
-		for si, st := range s.Strategies[w] {
-			if routesEqual(st.Seq, r) {
+		for si := range s.Strategies[w] {
+			if routesEqual(s.StrategySeq(w, si), r) {
 				s.Switch(w, si)
 				found = true
 				break

@@ -7,6 +7,7 @@ package game
 
 import (
 	"math/rand"
+	"sync"
 
 	"fairtask/internal/model"
 	"fairtask/internal/payoff"
@@ -21,9 +22,12 @@ const Null = -1
 // table enforcing disjointness, and the induced payoffs.
 type State struct {
 	gen *vdps.Generator
-	// Strategies[w] lists worker w's valid VDPSs, sorted by descending
-	// payoff (see vdps.Generator.ForWorker).
-	Strategies [][]vdps.WorkerVDPS
+	// Strategies[w] lists worker w's valid VDPSs in compact reference form,
+	// sorted by descending payoff (the same order as vdps.Generator.ForWorker).
+	// The 16-byte pointer-free references keep the strategy space — the
+	// dominant allocation of a solve — cheap to build and invisible to the
+	// garbage collector; resolve sequences on demand with StrategySeq.
+	Strategies [][]vdps.StrategyRef
 	// Current[w] is the index into Strategies[w] of w's chosen strategy, or
 	// Null.
 	Current []int
@@ -35,24 +39,59 @@ type State struct {
 
 // NewState builds a game state with empty strategy choices from the
 // generator's per-worker VDPS lists.
+//
+// The per-worker strategy-space construction is an embarrassingly parallel
+// O(W * C) scan over the generator's candidates: with enough workers it is
+// sharded over Generator.Parallelism() goroutines using the same 2x-headroom
+// heuristic as the generator's own level expansion. Every shard writes only
+// its own Strategies slots, and each worker's list is independent of the
+// others, so the result is identical to the sequential construction.
 func NewState(g *vdps.Generator) *State {
 	in := g.Instance()
 	n := len(in.Workers)
 	s := &State{
 		gen:        g,
-		Strategies: make([][]vdps.WorkerVDPS, n),
+		Strategies: make([][]vdps.StrategyRef, n),
 		Current:    make([]int, n),
 		Payoffs:    make([]float64, n),
 		owner:      make([]int, len(in.Points)),
 	}
+	par := g.Parallelism()
+	if par > 1 && n >= 2*par {
+		var wg sync.WaitGroup
+		chunk := (n + par - 1) / par
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fillStrategies(g, s.Strategies, lo, hi)
+			}(start, end)
+		}
+		wg.Wait()
+	} else {
+		fillStrategies(g, s.Strategies, 0, n)
+	}
 	for w := 0; w < n; w++ {
-		s.Strategies[w] = g.ForWorker(w)
 		s.Current[w] = Null
 	}
 	for p := range s.owner {
 		s.owner[p] = -1
 	}
 	return s
+}
+
+// fillStrategies builds the strategy lists of workers [lo, hi), reusing one
+// key scratch so each worker's list is allocated exactly once at its final
+// size and only 16-byte sort keys move through the sort.
+func fillStrategies(g *vdps.Generator, strategies [][]vdps.StrategyRef, lo, hi int) {
+	var sc vdps.StrategyScratch
+	for w := lo; w < hi; w++ {
+		strategies[w] = g.WorkerStrategies(w, &sc)
+	}
 }
 
 // Instance returns the underlying problem instance.
@@ -63,7 +102,13 @@ func (s *State) Generator() *vdps.Generator { return s.gen }
 
 // points returns the delivery-point set of worker w's strategy si.
 func (s *State) points(w, si int) []int {
-	return s.gen.Candidates()[s.Strategies[w][si].Candidate].Points
+	return s.gen.RefPoints(s.Strategies[w][si])
+}
+
+// StrategySeq returns the visiting sequence of worker w's strategy si. The
+// route is shared with the generator; callers must not modify it.
+func (s *State) StrategySeq(w, si int) model.Route {
+	return s.gen.RefSeq(s.Strategies[w][si])
 }
 
 // Available reports whether worker w could switch to strategy si without
@@ -113,8 +158,11 @@ func (s *State) RandomInit(rng *rand.Rand) {
 	order := rng.Perm(len(s.Current))
 	for _, w := range order {
 		var singles []int
-		for si, st := range s.Strategies[w] {
-			if len(st.Seq) == 1 && s.Available(w, si) {
+		for si := range s.Strategies[w] {
+			// A sequence visits exactly its candidate's point set, so a
+			// singleton route is a size-1 set — checked on the point set to
+			// avoid chasing the frontier entry per strategy.
+			if len(s.points(w, si)) == 1 && s.Available(w, si) {
 				singles = append(singles, si)
 			}
 		}
@@ -131,7 +179,7 @@ func (s *State) Assignment() *model.Assignment {
 	a := model.NewAssignment(len(s.Current))
 	for w, si := range s.Current {
 		if si != Null {
-			a.Routes[w] = s.Strategies[w][si].Seq.Clone()
+			a.Routes[w] = s.StrategySeq(w, si).Clone()
 		}
 	}
 	return a

@@ -23,8 +23,8 @@ func (s *State) LoadAssignment(a *model.Assignment) error {
 			continue
 		}
 		found := false
-		for si, st := range s.Strategies[w] {
-			if routeEqual(st.Seq, r) {
+		for si := range s.Strategies[w] {
+			if routeEqual(s.StrategySeq(w, si), r) {
 				if !s.Available(w, si) {
 					return fmt.Errorf("game: route %v for worker %d conflicts with another worker", r, w)
 				}
@@ -93,20 +93,14 @@ func VerifyNEOpts(g *vdps.Generator, a *model.Assignment, opt NEOptions) error {
 	if err := s.LoadAssignment(a); err != nil {
 		return err
 	}
-	scratch := make([]float64, len(s.Payoffs))
+	// One O(log V) index query per candidate deviation instead of an O(W)
+	// payoff rescan; the certificate's tolerance absorbs the last-ulp
+	// difference between the aggregate and scan forms of MP/LP.
+	idx := newUtilityIndex(s, prm, opt.Priorities)
 	for w := range s.Current {
-		copy(scratch, s.Payoffs)
-		scratch[w] = s.Payoffs[w]
-		utility := func(p float64) float64 {
-			scratch[w] = p
-			if opt.Priorities != nil {
-				return fairness.PriorityIAU(prm, scratch, opt.Priorities, w)
-			}
-			return fairness.IAU(prm, scratch, w)
-		}
-		cur := utility(s.Payoffs[w])
+		cur := idx.Utility(w, s.Payoffs[w])
 		if s.Current[w] != Null {
-			if u := utility(0); u > cur+tol {
+			if u := idx.Utility(w, 0); u > cur+tol {
 				return fmt.Errorf("game: worker %d improves IAU %g -> %g by going idle", w, cur, u)
 			}
 		}
@@ -114,9 +108,9 @@ func VerifyNEOpts(g *vdps.Generator, a *model.Assignment, opt NEOptions) error {
 			if si == s.Current[w] || !s.Available(w, si) {
 				continue
 			}
-			if u := utility(s.Strategies[w][si].Payoff); u > cur+tol {
+			if u := idx.Utility(w, s.Strategies[w][si].Payoff); u > cur+tol {
 				return fmt.Errorf("game: worker %d improves IAU %g -> %g via strategy %v (not a Nash equilibrium)",
-					w, cur, u, s.Strategies[w][si].Seq)
+					w, cur, u, s.StrategySeq(w, si))
 			}
 		}
 	}

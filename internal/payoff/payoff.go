@@ -50,11 +50,23 @@ func Of(in *model.Instance, a *model.Assignment) []float64 {
 // the payoffs and uses prefix sums, so it runs in O(n log n) rather than the
 // naive O(n^2).
 func Difference(payoffs []float64) float64 {
+	return DifferenceBuf(payoffs, nil)
+}
+
+// DifferenceBuf is Difference with a caller-provided scratch buffer for the
+// sorted copy, for per-iteration callers (the solver trace bookkeeping) that
+// would otherwise allocate every round. buf is grown when too small; the
+// result is bit-identical to Difference.
+func DifferenceBuf(payoffs, buf []float64) float64 {
 	n := len(payoffs)
 	if n < 2 {
 		return 0
 	}
-	sorted := append([]float64(nil), payoffs...)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	sorted := buf[:n]
+	copy(sorted, payoffs)
 	sort.Float64s(sorted)
 	// sum over unordered pairs i<j of (p_j - p_i); each ordered pair counts
 	// the same absolute difference, so the ordered-pair sum is twice this.

@@ -164,24 +164,7 @@ func GenerateSampledContext(ctx context.Context, in *model.Instance, opt SampleO
 		}
 	}
 
-	g.candidates = make([]Candidate, 0, len(byCand))
-	for _, c := range byCand {
-		sortFrontier(c.Frontier)
-		g.candidates = append(g.candidates, *c)
-	}
-	sort.Slice(g.candidates, func(i, j int) bool {
-		a, b := g.candidates[i].Points, g.candidates[j].Points
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-	g.stats.Candidates = len(g.candidates)
+	g.finalizeCandidates(byCand)
 	if opt.Recorder != nil {
 		opt.Recorder.RecordVDPS(obs.VDPSEvent{
 			Points:     n,

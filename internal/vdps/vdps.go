@@ -27,8 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -106,27 +107,43 @@ func (c *Candidate) MaxSlack() float64 {
 // BestFor returns the minimal-time state usable by a worker with the given
 // approach time, or ok == false when no state fits.
 func (c *Candidate) BestFor(approach float64) (State, bool) {
+	if fi, ok := c.bestForIndex(approach); ok {
+		return c.Frontier[fi], true
+	}
+	return State{}, false
+}
+
+// bestForIndex returns the frontier index BestFor would select.
+func (c *Candidate) bestForIndex(approach float64) (int, bool) {
 	// Frontier is sorted by ascending time (and, by Pareto dominance,
 	// ascending slack); scanning in time order makes the first state with
 	// Slack >= approach the fastest usable one.
-	for _, st := range c.Frontier {
-		if st.Slack >= approach {
-			return st, true
+	for fi := range c.Frontier {
+		if c.Frontier[fi].Slack >= approach {
+			return fi, true
 		}
 	}
-	return State{}, false
+	return 0, false
 }
 
 // bestForScaled returns the candidate's minimal-time sequence that worker w
 // can execute within all deadlines at the worker's own speed, checked
 // exactly via the model (used when the worker overrides the default speed).
 func (c *Candidate) bestForScaled(in *model.Instance, w int) (State, bool) {
-	for _, st := range c.Frontier { // sorted by ascending center-origin time
-		if in.RouteFeasible(w, st.Seq) {
-			return st, true
-		}
+	if fi, ok := c.bestForScaledIndex(in, w); ok {
+		return c.Frontier[fi], true
 	}
 	return State{}, false
+}
+
+// bestForScaledIndex returns the frontier index bestForScaled would select.
+func (c *Candidate) bestForScaledIndex(in *model.Instance, w int) (int, bool) {
+	for fi := range c.Frontier { // sorted by ascending center-origin time
+		if in.RouteFeasible(w, c.Frontier[fi].Seq) {
+			return fi, true
+		}
+	}
+	return 0, false
 }
 
 // Generator holds the generated candidates for one instance and answers
@@ -136,6 +153,12 @@ type Generator struct {
 	opt        Options
 	candidates []Candidate
 	stats      Stats
+	// maxSlack[ci] and setSize[ci] mirror candidates[ci].MaxSlack() and
+	// len(candidates[ci].Points): flat arrays let the per-worker feasibility
+	// scan in WorkerStrategies reject candidates without touching the
+	// candidate structs (and their pointer-chased frontiers) at all.
+	maxSlack []float64
+	setSize  []int32
 }
 
 // Stats reports the work performed during generation, used by the pruning
@@ -238,7 +261,7 @@ func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Gen
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var next map[string]*dpState
+		var next map[stateKey]*dpState
 		if workers == 1 || len(level) < 2*workers {
 			var pruned int
 			next, pruned = expandChunk(ctx, g, level, all, neighbors, expiry, eps)
@@ -264,7 +287,26 @@ func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Gen
 		}
 	}
 
-	// Collect candidates deterministically: by size, then lexicographic set.
+	g.finalizeCandidates(byCand)
+	if opt.Recorder != nil {
+		opt.Recorder.RecordVDPS(obs.VDPSEvent{
+			Points:     n,
+			Workers:    len(in.Workers),
+			Subsets:    g.stats.SubsetsExplored,
+			Pruned:     g.stats.ExtensionsPruned,
+			Candidates: g.stats.Candidates,
+			Elapsed:    time.Since(start),
+		})
+	}
+	return g, nil
+}
+
+// finalizeCandidates collects the generated candidate map into the flat,
+// deterministically ordered candidate slice (by size, then lexicographic
+// point set) and derives the per-candidate feasibility arrays the batch
+// strategy scans use. Every Generator constructor — the exact DP and the
+// sampler — must end with this so WorkerStrategies sees a complete view.
+func (g *Generator) finalizeCandidates(byCand map[string]*Candidate) {
 	g.candidates = make([]Candidate, 0, len(byCand))
 	for _, c := range byCand {
 		sortFrontier(c.Frontier)
@@ -283,17 +325,12 @@ func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Gen
 		return false
 	})
 	g.stats.Candidates = len(g.candidates)
-	if opt.Recorder != nil {
-		opt.Recorder.RecordVDPS(obs.VDPSEvent{
-			Points:     n,
-			Workers:    len(in.Workers),
-			Subsets:    g.stats.SubsetsExplored,
-			Pruned:     g.stats.ExtensionsPruned,
-			Candidates: g.stats.Candidates,
-			Elapsed:    time.Since(start),
-		})
+	g.maxSlack = make([]float64, len(g.candidates))
+	g.setSize = make([]int32, len(g.candidates))
+	for ci := range g.candidates {
+		g.maxSlack[ci] = g.candidates[ci].MaxSlack()
+		g.setSize[ci] = int32(len(g.candidates[ci].Points))
 	}
-	return g, nil
 }
 
 // allPoints returns [0, n) as successor candidates; memoized per call site
@@ -325,8 +362,16 @@ func derivedMaxSize(in *model.Instance) int {
 	return max
 }
 
-func stateKey(set bitset.Set, last int) string {
-	return set.Key() + "#" + strconv.Itoa(last)
+// stateKey identifies a DP node. A comparable struct keys the level maps
+// without the former set.Key()+"#"+strconv.Itoa(last) concatenation, which
+// allocated a fresh string per DP transition.
+type stateKey struct {
+	set  string
+	last int
+}
+
+func newStateKey(set bitset.Set, last int) stateKey {
+	return stateKey{set: set.Key(), last: last}
 }
 
 // insert adds st to the state's Pareto frontier, dropping dominated entries.
@@ -423,10 +468,20 @@ type WorkerVDPS struct {
 // feasible only for its speed (every returned strategy is still exactly
 // feasible — the approximation can only under-report options).
 func (g *Generator) ForWorker(w int) []WorkerVDPS {
+	return g.AppendForWorker(nil, w)
+}
+
+// AppendForWorker appends worker w's strategies (see ForWorker) to dst and
+// returns the extended slice, sorting only the appended segment. It lets
+// batch callers — game.NewState builds the strategy space of every worker —
+// reuse one scratch buffer across workers instead of growing a fresh slice
+// through repeated doublings per call.
+func (g *Generator) AppendForWorker(dst []WorkerVDPS, w int) []WorkerVDPS {
+	base := len(dst)
+	out := dst
 	approach := g.inst.ApproachTime(w)
 	maxDP := g.inst.Workers[w].MaxDP
 	factor := g.inst.SpeedFactor(w)
-	var out []WorkerVDPS
 	for ci := range g.candidates {
 		c := &g.candidates[ci]
 		if maxDP > 0 && len(c.Points) > maxDP {
@@ -460,13 +515,187 @@ func (g *Generator) ForWorker(w int) []WorkerVDPS {
 			Payoff:    c.Reward / total,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Payoff != out[j].Payoff {
-			return out[i].Payoff > out[j].Payoff
+	// The comparator is a total order (the candidate index is unique), so
+	// the sorted result is the same permutation whatever the algorithm; the
+	// type-specialized slices.SortFunc avoids sort.Slice's reflect-based
+	// swaps, which dominated NewState's profile on large instances.
+	seg := out[base:]
+	slices.SortFunc(seg, func(a, b WorkerVDPS) int {
+		if a.Payoff != b.Payoff {
+			if a.Payoff > b.Payoff {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Candidate < out[j].Candidate
+		return a.Candidate - b.Candidate
 	})
 	return out
+}
+
+// StrategyRef is a worker strategy in compact reference form: the payoff the
+// strategy yields for the worker plus the (candidate, frontier-entry) pair
+// that identifies its visiting sequence. At 16 pointer-free bytes it is what
+// game.State stores per strategy — the full WorkerVDPS form materializes
+// ~4.5x more memory per entry and, via its route slice, forces the garbage
+// collector to scan the entire strategy space. Resolve the sequence lazily
+// with Generator.RefSeq and the point set with Generator.RefPoints.
+type StrategyRef struct {
+	// Payoff is Reward / Time for this worker (Definition 7).
+	Payoff float64
+	// Cand indexes Generator.Candidates().
+	Cand int32
+	// Entry indexes the candidate's Frontier: the fastest state the worker
+	// can execute within all deadlines.
+	Entry int32
+}
+
+// RefSeq returns the center-origin visiting sequence a StrategyRef selects.
+// The route is shared with the generator; callers must not modify it.
+func (g *Generator) RefSeq(r StrategyRef) model.Route {
+	return g.candidates[r.Cand].Frontier[r.Entry].Seq
+}
+
+// RefPoints returns the delivery-point set of a StrategyRef, in ascending
+// order. The slice is shared with the generator; callers must not modify it.
+func (g *Generator) RefPoints(r StrategyRef) []int {
+	return g.candidates[r.Cand].Points
+}
+
+// StrategyScratch carries the reusable key buffers for batch
+// WorkerStrategies calls. The zero value is ready to use; it must not be
+// shared between goroutines.
+type StrategyScratch struct {
+	keys, tmp []StrategyRef
+}
+
+// descBits maps a payoff to a uint64 whose unsigned ascending order is the
+// payoff's descending order (the usual sign-flip trick for total-ordering
+// float bits, complemented). Equal payoffs map to equal bits, so a stable
+// sort on descBits preserves the candidate-ascending tie-break.
+func descBits(p float64) uint64 {
+	u := math.Float64bits(p)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return ^u
+}
+
+// sortKeysByPayoffDesc orders keys by (payoff descending, insertion order
+// ascending) with a stable byte-wise LSD radix sort: ~n work per pass with
+// no comparator calls, several times faster than a comparison sort on the
+// key count game states see. tmp must have the same length as keys; the
+// returned slice is whichever buffer holds the sorted result. Passes whose
+// digit is constant across all keys (common in the exponent bytes) are
+// skipped.
+func sortKeysByPayoffDesc(keys, tmp []StrategyRef) []StrategyRef {
+	n := len(keys)
+	var hist [256]int
+	src, dst := keys, tmp
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range hist {
+			hist[i] = 0
+		}
+		for i := range src {
+			hist[byte(descBits(src[i].Payoff)>>shift)]++
+		}
+		if hist[byte(descBits(src[0].Payoff)>>shift)] == n {
+			continue
+		}
+		sum := 0
+		for i := range hist {
+			c := hist[i]
+			hist[i] = sum
+			sum += c
+		}
+		for i := range src {
+			d := byte(descBits(src[i].Payoff) >> shift)
+			dst[hist[d]] = src[i]
+			hist[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// WorkerStrategies returns worker w's strategies in compact reference form —
+// the same candidates in the same order as ForWorker — allocated exactly at
+// their final size.
+//
+// It works in three phases: gather a (payoff, candidate, frontier-entry)
+// reference per feasible candidate — rejecting infeasible candidates on the
+// flat maxSlack/setSize arrays without touching the candidate structs — then
+// radix-sort the 16-byte references, then copy them once into an exact-size,
+// pointer-free result the garbage collector never scans. Compared with
+// building WorkerVDPS structs this moves ~4.5x fewer bytes through the sort,
+// the allocator's zeroing and the GC, which is what makes game.NewState's
+// strategy-space construction cheap at population scale (see
+// docs/PERFORMANCE.md).
+func (g *Generator) WorkerStrategies(w int, sc *StrategyScratch) []StrategyRef {
+	keys := sc.keys[:0]
+	approach := g.inst.ApproachTime(w)
+	maxDP := int32(g.inst.Workers[w].MaxDP)
+	factor := g.inst.SpeedFactor(w)
+	if factor == 1 {
+		for ci, ms := range g.maxSlack {
+			if ms < approach || (maxDP > 0 && g.setSize[ci] > maxDP) {
+				continue
+			}
+			c := &g.candidates[ci]
+			fi, _ := c.bestForIndex(approach) // maxSlack >= approach guarantees ok
+			total := approach + c.Frontier[fi].Time
+			if total <= 0 {
+				continue
+			}
+			keys = append(keys, StrategyRef{Payoff: c.Reward / total, Cand: int32(ci), Entry: int32(fi)})
+		}
+	} else {
+		// Heterogeneous speed: the slack shortcut does not apply, so every
+		// size-eligible candidate's frontier is re-checked via the model.
+		for ci := range g.candidates {
+			if maxDP > 0 && g.setSize[ci] > maxDP {
+				continue
+			}
+			c := &g.candidates[ci]
+			fi, ok := c.bestForScaledIndex(g.inst, w)
+			if !ok {
+				continue
+			}
+			total := approach + factor*c.Frontier[fi].Time
+			if total <= 0 {
+				continue
+			}
+			keys = append(keys, StrategyRef{Payoff: c.Reward / total, Cand: int32(ci), Entry: int32(fi)})
+		}
+	}
+	sc.keys = keys
+	if len(keys) == 0 {
+		return nil
+	}
+	if cap(sc.tmp) < len(keys) {
+		sc.tmp = make([]StrategyRef, len(keys), cap(sc.keys))
+	}
+	// Keys were gathered in ascending candidate order, so the stable sort
+	// yields the same (payoff desc, candidate asc) permutation as ForWorker.
+	sorted := sortKeysByPayoffDesc(keys, sc.tmp[:len(keys)])
+	out := make([]StrategyRef, len(sorted))
+	copy(out, sorted)
+	return out
+}
+
+// Parallelism returns the effective worker count for the generator's
+// parallel phases: Options.Parallel when set, otherwise GOMAXPROCS.
+// Candidate generation itself only shards when Options.Parallel asks for it
+// (its sequential path is the reference implementation); derived batch
+// scans — game.NewState's per-worker strategy-space construction — use this
+// value to self-parallelize with the same 2x-headroom heuristic
+// expandParallel applies.
+func (g *Generator) Parallelism() int {
+	if g.opt.Parallel >= 1 {
+		return g.opt.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // expandChunk computes the next-level states generated by the given slice
@@ -475,10 +704,10 @@ func (g *Generator) ForWorker(w int) []WorkerVDPS {
 // function is safe to run concurrently. Cancellation is polled every 64
 // states; on cancel the partial map is returned and the caller discards it.
 func expandChunk(ctx context.Context, g *Generator, chunk []*dpState, all []int,
-	neighbors [][]int, expiry []float64, eps float64) (map[string]*dpState, int) {
+	neighbors [][]int, expiry []float64, eps float64) (map[stateKey]*dpState, int) {
 	in := g.inst
 	n := len(in.Points)
-	next := map[string]*dpState{}
+	next := map[stateKey]*dpState{}
 	var pruned int
 	for di, ds := range chunk {
 		if di&0x3f == 0 && ctx.Err() != nil {
@@ -512,7 +741,7 @@ func expandChunk(ctx context.Context, g *Generator, chunk []*dpState, all []int,
 					slack = s
 				}
 				newSet := ds.set.Clone().With(q)
-				key := stateKey(newSet, q)
+				key := newStateKey(newSet, q)
 				tgt := next[key]
 				if tgt == nil {
 					tgt = &dpState{set: newSet, last: q}
@@ -531,10 +760,10 @@ func expandChunk(ctx context.Context, g *Generator, chunk []*dpState, all []int,
 // identical (time, slack) keep the lower chunk's sequence, so the merged
 // result equals the sequential computation.
 func (g *Generator) expandParallel(ctx context.Context, level []*dpState, all []int,
-	neighbors [][]int, expiry []float64, eps float64, workers int) map[string]*dpState {
+	neighbors [][]int, expiry []float64, eps float64, workers int) map[stateKey]*dpState {
 	chunkSize := (len(level) + workers - 1) / workers
 	type part struct {
-		next   map[string]*dpState
+		next   map[stateKey]*dpState
 		pruned int
 	}
 	parts := make([]part, 0, workers)
@@ -562,16 +791,21 @@ func (g *Generator) expandParallel(ctx context.Context, level []*dpState, all []
 	}
 	wg.Wait()
 
-	merged := map[string]*dpState{}
+	merged := map[stateKey]*dpState{}
 	for _, p := range parts {
 		g.stats.ExtensionsPruned += p.pruned
 		// Deterministic cross-chunk merge: iterate the chunk's states via a
 		// sorted key list so frontier tie-breaking is stable.
-		keys := make([]string, 0, len(p.next))
+		keys := make([]stateKey, 0, len(p.next))
 		for k := range p.next {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].set != keys[j].set {
+				return keys[i].set < keys[j].set
+			}
+			return keys[i].last < keys[j].last
+		})
 		for _, k := range keys {
 			src := p.next[k]
 			tgt := merged[k]
