@@ -36,8 +36,10 @@ import (
 
 	"fairtask"
 	"fairtask/internal/experiment"
+	"fairtask/internal/fault"
 	"fairtask/internal/jobs"
 	"fairtask/internal/obs"
+	"fairtask/internal/platform"
 	"fairtask/internal/server"
 )
 
@@ -201,12 +203,16 @@ func loadProblem(path string) (*fairtask.Problem, error) {
 func cmdAssign(args []string) error {
 	fs := flag.NewFlagSet("assign", flag.ContinueOnError)
 	var (
-		in       = fs.String("in", "", "input problem CSV")
-		alg      = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
-		eps      = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
-		seed     = fs.Int64("seed", 1, "random seed for FGT/IEGT")
-		routes   = fs.String("routes", "", "optional path for a per-stop route CSV export")
-		traceOut = fs.String("trace-out", "", "write the per-iteration convergence trace as JSONL (FGT/IEGT)")
+		in        = fs.String("in", "", "input problem CSV")
+		alg       = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		eps       = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
+		seed      = fs.Int64("seed", 1, "random seed for FGT/IEGT")
+		routes    = fs.String("routes", "", "optional path for a per-stop route CSV export")
+		traceOut  = fs.String("trace-out", "", "write the per-iteration convergence trace as JSONL (FGT/IEGT)")
+		degrade   = fs.Bool("degrade", false, "fall back exact→sampled→greedy when a solve stage fails or exceeds its budget")
+		degradeTO = fs.Duration("degrade-budget", 10*time.Second, "per-rung wall-clock budget for -degrade")
+		retryMax  = fs.Int("retry-max", 0, "retry failed per-center solves up to this many total attempts (0 = no retry)")
+		failSpecs = fs.String("fail", "", "arm chaos failpoints, e.g. 'vdps.generate:err:3' (dev only; see docs/RESILIENCE.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -224,6 +230,24 @@ func cmdAssign(args []string) error {
 		opt.VDPS.Epsilon = *eps
 	} else {
 		opt.VDPS.Epsilon = math.Inf(1)
+	}
+	if *degrade {
+		opt.Degrade = &fairtask.DegradeOptions{
+			ExactBudget:   *degradeTO,
+			SampledBudget: *degradeTO,
+		}
+	}
+	if *retryMax > 1 {
+		opt.Retry = &fairtask.RetryPolicy{MaxAttempts: *retryMax}
+	}
+	if *failSpecs != "" {
+		if err := fault.ArmSpecs(*failSpecs); err != nil {
+			return err
+		}
+		// Count-based failpoint triggering across concurrent center solves
+		// follows the goroutine schedule; chaos runs promise bit-identical
+		// output across invocations, so they solve centers sequentially.
+		opt.Parallelism = 1
 	}
 	res, err := fairtask.SolveProblem(prob, opt)
 	if err != nil {
@@ -256,6 +280,9 @@ func cmdAssign(args []string) error {
 	fmt.Fprintf(tw, "workers\t%d\n", len(res.Payoffs))
 	fmt.Fprintf(tw, "payoff difference\t%.4f\n", res.Difference)
 	fmt.Fprintf(tw, "average payoff\t%.4f\n", res.Average)
+	if res.Degraded != "" {
+		fmt.Fprintf(tw, "degraded\t%s\n", res.Degraded)
+	}
 	fmt.Fprintf(tw, "cpu time\t%s\n", res.Elapsed)
 	return tw.Flush()
 }
@@ -714,6 +741,23 @@ func mountPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
+// newHTTPServer builds the serve command's http.Server with full connection
+// timeouts. A server with only ReadHeaderTimeout lets a client that sends
+// headers promptly and then trickles the body (or never reads the response)
+// pin a connection forever; ReadTimeout, WriteTimeout and IdleTimeout bound
+// every phase. Long-running solves belong on POST /jobs, which responds
+// immediately, so WriteTimeout does not cap solve time.
+func newHTTPServer(addr string, handler http.Handler, readTO, writeTO, idleTO time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTO,
+		WriteTimeout:      writeTO,
+		IdleTimeout:       idleTO,
+	}
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
@@ -726,6 +770,13 @@ func cmdServe(args []string) error {
 		jobTTL     = fs.Duration("job-ttl", 15*time.Minute, "how long finished job results stay queryable")
 		solveTO    = fs.Duration("solve-timeout", 0, "per-solve deadline for /solve and /jobs (0 = none)")
 		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight jobs before force-cancel")
+		readTO     = fs.Duration("read-timeout", time.Minute, "max duration for reading a full request, body included (0 = none)")
+		writeTO    = fs.Duration("write-timeout", 2*time.Minute, "max duration for writing a response; long solves should use POST /jobs (0 = none)")
+		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 = read-timeout)")
+		degrade    = fs.Bool("degrade", false, "fall back exact→sampled→greedy when a solve stage fails or exceeds its budget")
+		degradeTO  = fs.Duration("degrade-budget", 10*time.Second, "per-rung wall-clock budget for -degrade")
+		retryMax   = fs.Int("retry-max", 0, "retry failed solves/jobs up to this many total attempts (0 = no retry)")
+		failSpecs  = fs.String("fail", "", "arm chaos failpoints, e.g. 'vdps.generate:err:3' (dev only; see docs/RESILIENCE.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -734,13 +785,32 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *failSpecs != "" {
+		if err := fault.ArmSpecs(*failSpecs); err != nil {
+			return err
+		}
+		logger.Warn("chaos failpoints armed", "specs", *failSpecs)
+	}
 	handler := newServerHandler(logger)
+	if *degrade {
+		handler.Degrade = &platform.Degrade{
+			ExactBudget:   *degradeTO,
+			SampledBudget: *degradeTO,
+		}
+	}
+	var retry *fault.RetryPolicy
+	if *retryMax > 1 {
+		retry = &fault.RetryPolicy{MaxAttempts: *retryMax}
+		handler.Retry = retry
+	}
 	manager := jobs.New(jobs.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *queueDepth,
 		TTL:        *jobTTL,
 		Timeout:    *solveTO,
 		Metrics:    obs.NewJobsMetrics(handler.Registry),
+		Retry:      retry,
+		Fault:      obs.NewFaultMetrics(handler.Registry),
 		Logger:     logger,
 	})
 	handler.Jobs = manager
@@ -750,11 +820,7 @@ func cmdServe(args []string) error {
 	if *withPprof {
 		mountPprof(mux)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(*addr, mux, *readTO, *writeTO, *idleTO)
 
 	// Serve until SIGINT/SIGTERM, then drain: stop admitting jobs (flipping
 	// /readyz to 503 so orchestrators stop routing here), let queued and

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fairtask/internal/fault"
+)
+
+// TestServeHTTPServerTimeouts is the regression test for the serve command's
+// http.Server construction: every connection timeout must be set, not just
+// ReadHeaderTimeout — a client trickling a request body (or never reading the
+// response) used to pin a connection forever.
+func TestServeHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer("127.0.0.1:0", nil, time.Minute, 2*time.Minute, 3*time.Minute)
+	if srv.ReadHeaderTimeout != 10*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 10s", srv.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != time.Minute {
+		t.Errorf("ReadTimeout = %v, want 1m", srv.ReadTimeout)
+	}
+	if srv.WriteTimeout != 2*time.Minute {
+		t.Errorf("WriteTimeout = %v, want 2m", srv.WriteTimeout)
+	}
+	if srv.IdleTimeout != 3*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 3m", srv.IdleTimeout)
+	}
+	if srv.Addr != "127.0.0.1:0" {
+		t.Errorf("Addr = %q", srv.Addr)
+	}
+}
+
+// stripVolatile drops the one nondeterministic output row (wall-clock time)
+// so the rest of the report can be compared byte for byte.
+func stripVolatile(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cpu time") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestChaosAssignReproducible is the acceptance criterion for deterministic
+// chaos: the same seeded chaos run — armed failpoint, degradation ladder on —
+// must be bit-reproducible across invocations, in both the report and the
+// exported routes.
+func TestChaosAssignReproducible(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "problem.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "3", "-centers", "2",
+		"-tasks", "60", "-workers", "8", "-points", "16", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func(routes string) string {
+		out, err := capture(t, func() error {
+			return run([]string{"assign", "-in", csv, "-alg", "GTA", "-eps", "2",
+				"-fail", "vdps.generate:err:3", "-degrade", "-routes", routes})
+		})
+		if err != nil {
+			t.Fatalf("chaos assign: %v", err)
+		}
+		return out
+	}
+	r1 := filepath.Join(dir, "routes1.csv")
+	r2 := filepath.Join(dir, "routes2.csv")
+	out1 := runOnce(r1)
+	out2 := runOnce(r2)
+
+	if !strings.Contains(out1, "degraded") || !strings.Contains(out1, "sampled") {
+		t.Errorf("chaos run did not report the sampled rung:\n%s", out1)
+	}
+	if got, want := stripVolatile(out1), stripVolatile(out2); got != want {
+		t.Errorf("chaos reports differ across identical invocations:\n--- first\n%s\n--- second\n%s", got, want)
+	}
+	b1, err := os.ReadFile(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("route exports differ across identical chaos invocations")
+	}
+	if len(b1) == 0 {
+		t.Error("chaos run exported empty routes")
+	}
+}
+
+// TestChaosAssignRejectsBadSpec pins the CLI's failpoint-spec validation:
+// unknown points and malformed specs must fail fast, before any solving.
+func TestChaosAssignRejectsBadSpec(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "problem.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "1", "-centers", "1",
+		"-tasks", "20", "-workers", "4", "-points", "8", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"nope.such.point:err:1", "vdps.generate:frobnicate", "vdps.generate"} {
+		_, err := capture(t, func() error {
+			return run([]string{"assign", "-in", csv, "-alg", "GTA", "-eps", "2", "-fail", spec})
+		})
+		if err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+// TestDegradeAssignHealthyStaysExact makes sure the ladder is invisible when
+// nothing fails: -degrade on a healthy run must not report a rung.
+func TestDegradeAssignHealthyStaysExact(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "problem.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "2", "-centers", "1",
+		"-tasks", "20", "-workers", "4", "-points", "8", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "GTA", "-eps", "2", "-degrade"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "degraded") {
+		t.Errorf("healthy degrade-enabled run reported a rung:\n%s", out)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"fairtask/internal/dataset"
 	"fairtask/internal/evo"
 	"fairtask/internal/fairness"
+	"fairtask/internal/fault"
 	"fairtask/internal/game"
 	"fairtask/internal/geo"
 	"fairtask/internal/model"
@@ -156,7 +157,33 @@ type (
 	// report and is returned (wrapped) by Solve* when Options.Audit is set
 	// and a violation is found. Extract it with errors.As.
 	AuditError = audit.Error
+	// DegradeOptions configure the exact→sampled→greedy degradation ladder
+	// for Options.Degrade: per-rung wall-clock budgets and the sampled
+	// rungs' candidate generation.
+	DegradeOptions = platform.Degrade
+	// RetryPolicy configures Options.Retry: capped exponential backoff with
+	// deterministic seeded jitter around each per-center solve attempt.
+	RetryPolicy = fault.RetryPolicy
+	// RetryError wraps the final error of an exhausted retry loop with the
+	// number of attempts made. Extract it with errors.As.
+	RetryError = fault.RetryError
 )
+
+// Degradation-ladder rung names recorded in Result.Degraded and
+// ProblemResult.Degraded; the exact rung is the empty string.
+const (
+	// RungSampled marks a result solved over sampled candidates after the
+	// exact rung failed or exceeded its budget.
+	RungSampled = platform.RungSampled
+	// RungGreedy marks a last-resort greedy assignment over sampled
+	// candidates.
+	RungGreedy = platform.RungGreedy
+)
+
+// ErrFaultInjected is the sentinel wrapped by every failure a chaos-run
+// failpoint injects; classify solve errors from chaos runs with
+// errors.Is(err, ErrFaultInjected). See docs/RESILIENCE.md.
+var ErrFaultInjected = fault.ErrInjected
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -268,6 +295,19 @@ type Options struct {
 	// *AuditError. The solver's own candidate generator is reused, so the
 	// overhead is one verification pass, not a second generation.
 	Audit bool
+	// Retry retries each per-center solve attempt (candidate generation +
+	// solver run) under this policy — capped exponential backoff with
+	// deterministic seeded jitter. Nil (the default) or MaxAttempts < 2
+	// disables retrying; context cancellation is never retried.
+	Retry *RetryPolicy
+	// Degrade enables the exact→sampled→greedy degradation ladder: when the
+	// exact solve fails or exceeds its budget, the solver re-runs over
+	// sampled candidates, and as a last resort a greedy assignment over
+	// sampled candidates is produced. The serving rung lands in
+	// Result.Degraded; degraded results are always audited for the
+	// structural guarantees before being accepted. Nil (the default) means
+	// exact-only. See docs/RESILIENCE.md.
+	Degrade *DegradeOptions
 }
 
 // NewAssigner returns the Assigner implementing opt.Algorithm.
@@ -340,22 +380,31 @@ func SolveContext(ctx context.Context, in *Instance, opt Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	vopt := opt.VDPS
-	if vopt.Recorder == nil {
-		vopt.Recorder = opt.Recorder
-	}
-	g, err := vdps.GenerateContext(ctx, in, vopt)
+	res, rep, err := platform.SolveInstance(ctx, in, solver, platformOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	res, err := assignRecorded(ctx, in, g, solver, opt.Recorder)
-	if err != nil {
-		return nil, err
-	}
-	if err := auditResult(in, g, solver.Name(), res, opt); err != nil {
-		return nil, err
+	if opt.Audit && rep != nil && !rep.OK() {
+		return nil, fmt.Errorf("fairtask: %s solve failed verification: %w", solver.Name(), rep.Err())
 	}
 	return res, nil
+}
+
+// platformOptions derives the platform-layer configuration from the public
+// options.
+func platformOptions(opt Options) platform.Options {
+	popt := platform.Options{
+		VDPS:        opt.VDPS,
+		Parallelism: opt.Parallelism,
+		Recorder:    opt.Recorder,
+		Retry:       opt.Retry,
+		Degrade:     opt.Degrade,
+	}
+	if opt.Audit {
+		aopt := auditOptions(opt)
+		popt.Audit = &aopt
+	}
+	return popt
 }
 
 // auditResult runs the independent auditor over a solve result when
@@ -458,16 +507,7 @@ func SolveProblemContext(ctx context.Context, p *Problem, opt Options) (*Problem
 	if err != nil {
 		return nil, err
 	}
-	popt := platform.Options{
-		VDPS:        opt.VDPS,
-		Parallelism: opt.Parallelism,
-		Recorder:    opt.Recorder,
-	}
-	if opt.Audit {
-		aopt := auditOptions(opt)
-		popt.Audit = &aopt
-	}
-	res, err := platform.AssignContext(ctx, p, solver, popt)
+	res, err := platform.AssignContext(ctx, p, solver, platformOptions(opt))
 	if err != nil {
 		return nil, err
 	}

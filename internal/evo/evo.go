@@ -92,6 +92,9 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := fpIEGTRound.Hit(ctx); err != nil {
+			return nil, fmt.Errorf("evo: iegt round %d: %w", iter, err)
+		}
 		ubar := populationAverage(s)
 		changes := 0
 		for w := range s.Current {

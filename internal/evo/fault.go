@@ -1,0 +1,7 @@
+package evo
+
+import "fairtask/internal/fault"
+
+// fpIEGTRound is hit once per IEGT evolution round; armed chaos specs can
+// fail or delay a solve mid-convergence. Disarmed it is one atomic load.
+var fpIEGTRound = fault.Point("evo.iegt.round")

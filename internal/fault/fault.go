@@ -1,0 +1,359 @@
+// Package fault is the deterministic fault-injection and resilience layer
+// of the fairtask engine: named failpoints threaded through the solve path,
+// a context-aware retrier with capped exponential backoff, and the parsing
+// of the CLI's chaos specs.
+//
+// # Failpoints
+//
+// A Failpoint is a named injection site. Production code declares one per
+// site at package init (fault.Point("vdps.generate")) and calls Hit on the
+// hot path; while the point is disarmed — the permanent state outside chaos
+// runs — Hit is a single atomic pointer load returning nil, so the layer
+// adds no measurable cost (see BenchmarkFailpointDisarmed). Tests and dev
+// chaos runs arm a point with a Behavior: an injected error, an injected
+// latency, or a panic.
+//
+// # Determinism
+//
+// Chaos runs must be reproducible bit for bit, so triggering never consults
+// the wall clock: a count-based trigger fires on the first Count hits, and a
+// probability-based trigger draws from a rand.PCG seeded by the Behavior.
+// Two runs of the same single-threaded code path with the same armed specs
+// therefore inject the same faults at the same hits. (Count- and
+// probability-based triggers observed from concurrent goroutines are still
+// race-free, but the assignment of trigger to goroutine follows the
+// scheduler; chaos runs that need bit-reproducibility keep the consuming
+// path sequential, as "fta assign -fail" does.)
+//
+// The package is stdlib-only and imports nothing from this repository, so
+// every internal package can thread failpoints without import cycles.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected failure wraps: code observing
+// an error from a chaos run can classify it with errors.Is(err, ErrInjected)
+// no matter how many layers wrapped it on the way up.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Error is the error form of a fired error-kind failpoint. It wraps the
+// behavior's cause (ErrInjected by default), so both errors.Is against the
+// sentinel and errors.As against *Error work through wrapping.
+type Error struct {
+	// Point is the failpoint that fired.
+	Point string
+	// Err is the injected cause; never nil.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: failpoint %s: %v", e.Point, e.Err)
+}
+
+// Unwrap exposes the injected cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Kind selects what a fired failpoint does.
+type Kind int
+
+const (
+	// KindError makes Hit return an *Error wrapping Behavior.Err.
+	KindError Kind = iota
+	// KindSleep makes Hit block for Behavior.Delay (or until ctx is done,
+	// returning ctx.Err()). A completed sleep returns nil: latency
+	// injection delays the caller without failing it.
+	KindSleep
+	// KindPanic makes Hit panic. Sites running under a recover boundary
+	// (the jobs worker pool) turn this into a failure; anywhere else it
+	// crashes the process, which is the point of a panic drill.
+	KindPanic
+)
+
+// String returns the spec keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "err"
+	case KindSleep:
+		return "sleep"
+	default:
+		return "panic"
+	}
+}
+
+// Behavior describes what an armed failpoint injects and when it triggers.
+// The zero value fires an ErrInjected-wrapping error on every hit.
+type Behavior struct {
+	// Kind selects the effect; default KindError.
+	Kind Kind
+	// Err is the cause wrapped by KindError injections. Nil means
+	// ErrInjected.
+	Err error
+	// Delay is the injected latency for KindSleep.
+	Delay time.Duration
+	// Count caps how many hits trigger: the first Count hits fire, later
+	// hits pass through. Zero means unlimited.
+	Count int
+	// Prob triggers each hit with this probability, drawn from a PCG
+	// seeded with Seed — deterministic, never wall-clock. Values outside
+	// (0, 1) mean "every hit". Count still caps the total fired.
+	Prob float64
+	// Seed seeds the probability PCG.
+	Seed uint64
+}
+
+// arming is the mutable state of an armed failpoint.
+type arming struct {
+	mu    sync.Mutex
+	b     Behavior
+	rng   *rand.Rand
+	hits  int64
+	fired int64
+}
+
+// Failpoint is one named injection site. The zero value is not usable —
+// obtain points with Point. A disarmed point's Hit is one atomic load.
+type Failpoint struct {
+	name  string
+	state atomic.Pointer[arming]
+}
+
+// registry is the process-global failpoint namespace. Sites register at
+// package init, so by the time a test or the CLI arms a spec every
+// reachable point exists and unknown names can be rejected as typos.
+var registry struct {
+	mu     sync.Mutex
+	points map[string]*Failpoint
+}
+
+// Point returns the failpoint registered under name, creating it disarmed
+// on first use. Calls with the same name return the same point, so declaring
+// packages and arming tests meet at the name alone.
+func Point(name string) *Failpoint {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.points == nil {
+		registry.points = map[string]*Failpoint{}
+	}
+	p := registry.points[name]
+	if p == nil {
+		p = &Failpoint{name: name}
+		registry.points[name] = p
+	}
+	return p
+}
+
+// Lookup returns the failpoint registered under name, or nil. Unlike Point
+// it never creates, so spec validation can distinguish typos from sites.
+func Lookup(name string) *Failpoint {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.points[name]
+}
+
+// Names returns every registered failpoint name in sorted order.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.points))
+	for n := range registry.points {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DisarmAll disarms every registered failpoint. Chaos tests defer it so one
+// armed point can never leak into the next test.
+func DisarmAll() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, p := range registry.points {
+		p.state.Store(nil)
+	}
+}
+
+// Name returns the point's registered name.
+func (f *Failpoint) Name() string { return f.name }
+
+// Arm replaces the point's behavior and resets its hit and fire counters.
+func (f *Failpoint) Arm(b Behavior) {
+	if b.Err == nil {
+		b.Err = ErrInjected
+	}
+	a := &arming{b: b}
+	if b.Prob > 0 && b.Prob < 1 {
+		a.rng = rand.New(rand.NewPCG(b.Seed, 0))
+	}
+	f.state.Store(a)
+}
+
+// Disarm returns the point to the pass-through state.
+func (f *Failpoint) Disarm() { f.state.Store(nil) }
+
+// Armed reports whether the point currently has a behavior installed (it may
+// still pass hits through once its Count is exhausted).
+func (f *Failpoint) Armed() bool { return f.state.Load() != nil }
+
+// Stats returns how many times the point was hit and how many of those hits
+// fired since it was last armed. Both are zero for a disarmed point.
+func (f *Failpoint) Stats() (hits, fired int64) {
+	a := f.state.Load()
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits, a.fired
+}
+
+// Hit evaluates the failpoint. Disarmed — the production state — it is a
+// single atomic load returning nil. Armed, it decides deterministically
+// whether this hit triggers and then injects the behavior: an error return,
+// a context-aware sleep, or a panic.
+func (f *Failpoint) Hit(ctx context.Context) error {
+	a := f.state.Load()
+	if a == nil {
+		return nil
+	}
+	return a.hit(ctx, f.name)
+}
+
+// hit applies the armed behavior for one call site hit.
+func (a *arming) hit(ctx context.Context, point string) error {
+	a.mu.Lock()
+	a.hits++
+	fire := true
+	if a.b.Count > 0 && a.fired >= int64(a.b.Count) {
+		fire = false
+	}
+	if fire && a.rng != nil {
+		fire = a.rng.Float64() < a.b.Prob
+	}
+	if fire {
+		a.fired++
+	}
+	b := a.b
+	a.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch b.Kind {
+	case KindSleep:
+		t := time.NewTimer(b.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case KindPanic:
+		panic(fmt.Sprintf("fault: failpoint %s: injected panic", point))
+	default:
+		return &Error{Point: point, Err: b.Err}
+	}
+}
+
+// ParseSpec parses one chaos spec of the form
+//
+//	name:kind[:param]...
+//
+// where kind is err, sleep or panic, and each param is one of
+//
+//	N        fire at most N times (count trigger)
+//	p=F      fire each hit with probability F (0 < F < 1)
+//	seed=N   seed for the probability PCG
+//	D        injected latency, e.g. 50ms (sleep only; Go duration syntax)
+//
+// Examples: "vdps.generate:err:3" fails the first three candidate
+// generations; "jobs.run:sleep:50ms:p=0.5:seed=7" delays roughly half of all
+// job executions by 50ms, reproducibly for seed 7.
+func ParseSpec(spec string) (name string, b Behavior, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || parts[0] == "" {
+		return "", b, fmt.Errorf("fault: bad spec %q (want name:kind[:param]...)", spec)
+	}
+	name = parts[0]
+	switch parts[1] {
+	case "err":
+		b.Kind = KindError
+	case "sleep":
+		b.Kind = KindSleep
+	case "panic":
+		b.Kind = KindPanic
+	default:
+		return "", b, fmt.Errorf("fault: bad spec %q: unknown kind %q (want err, sleep or panic)", spec, parts[1])
+	}
+	for _, p := range parts[2:] {
+		switch {
+		case strings.HasPrefix(p, "p="):
+			v, perr := strconv.ParseFloat(p[2:], 64)
+			if perr != nil || v <= 0 || v >= 1 {
+				return "", b, fmt.Errorf("fault: bad spec %q: probability %q (want 0 < p < 1)", spec, p)
+			}
+			b.Prob = v
+		case strings.HasPrefix(p, "seed="):
+			v, perr := strconv.ParseUint(p[5:], 10, 64)
+			if perr != nil {
+				return "", b, fmt.Errorf("fault: bad spec %q: seed %q", spec, p)
+			}
+			b.Seed = v
+		default:
+			if n, perr := strconv.Atoi(p); perr == nil {
+				if n <= 0 {
+					return "", b, fmt.Errorf("fault: bad spec %q: count must be positive", spec)
+				}
+				b.Count = n
+				continue
+			}
+			d, perr := time.ParseDuration(p)
+			if perr != nil || d < 0 {
+				return "", b, fmt.Errorf("fault: bad spec %q: parameter %q", spec, p)
+			}
+			if b.Kind != KindSleep {
+				return "", b, fmt.Errorf("fault: bad spec %q: duration %q only applies to sleep", spec, p)
+			}
+			b.Delay = d
+		}
+	}
+	if b.Kind == KindSleep && b.Delay == 0 {
+		return "", b, fmt.Errorf("fault: bad spec %q: sleep needs a duration, e.g. sleep:50ms", spec)
+	}
+	return name, b, nil
+}
+
+// ArmSpecs parses and arms a comma-separated list of chaos specs (see
+// ParseSpec). Every named point must already be registered by the code path
+// that declares it; an unknown name is rejected with the list of known
+// points, so a typo cannot silently arm nothing.
+func ArmSpecs(specs string) error {
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, b, err := ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		p := Lookup(name)
+		if p == nil {
+			return fmt.Errorf("fault: unknown failpoint %q (known: %s)", name, strings.Join(Names(), ", "))
+		}
+		p.Arm(b)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkFailpointDisarmed is the headline number: a disarmed failpoint on
+// the hot path must cost one atomic load, so resilience instrumentation is
+// free outside chaos runs. CI records this in BENCH_fault.json.
+func BenchmarkFailpointDisarmed(b *testing.B) {
+	p := Point("bench.disarmed")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Hit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFailpointDisarmedParallel(b *testing.B) {
+	p := Point("bench.disarmed.par")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := p.Hit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFailpointArmedPassthrough measures an armed point whose count is
+// exhausted — the worst case still on the non-firing path.
+func BenchmarkFailpointArmedPassthrough(b *testing.B) {
+	p := Point("bench.armed")
+	defer p.Disarm()
+	p.Arm(Behavior{Count: 1})
+	ctx := context.Background()
+	_ = p.Hit(ctx) // burn the single firing hit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Hit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrierSuccess measures the retry wrapper's overhead on an
+// operation that never fails — the production steady state.
+func BenchmarkRetrierSuccess(b *testing.B) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	ctx := context.Background()
+	op := func(context.Context) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Do(ctx, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

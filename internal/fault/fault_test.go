@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	p := Point("test.disarmed")
+	if err := p.Hit(context.Background()); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if p.Armed() {
+		t.Error("Armed() = true for a never-armed point")
+	}
+}
+
+func TestPointIsIdempotent(t *testing.T) {
+	if Point("test.same") != Point("test.same") {
+		t.Error("Point returned distinct instances for one name")
+	}
+	if Lookup("test.never-registered") != nil {
+		t.Error("Lookup invented a point")
+	}
+	if Lookup("test.same") == nil {
+		t.Error("Lookup missed a registered point")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	p := Point("test.err")
+	defer p.Disarm()
+	p.Arm(Behavior{Kind: KindError})
+	err := p.Hit(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(err, ErrInjected) = false for %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "test.err" {
+		t.Fatalf("errors.As *Error failed or wrong point: %v", err)
+	}
+}
+
+func TestCustomErrorCauseStaysIsable(t *testing.T) {
+	cause := errors.New("downstream boom")
+	p := Point("test.cause")
+	defer p.Disarm()
+	p.Arm(Behavior{Err: cause})
+	err := p.Hit(context.Background())
+	if !errors.Is(err, cause) {
+		t.Fatalf("errors.Is against the custom cause failed: %v", err)
+	}
+}
+
+func TestCountTrigger(t *testing.T) {
+	p := Point("test.count")
+	defer p.Disarm()
+	p.Arm(Behavior{Count: 2})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := p.Hit(ctx); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want injected", i+1, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Hit(ctx); err != nil {
+			t.Fatalf("post-count hit: err = %v, want nil", err)
+		}
+	}
+	hits, fired := p.Stats()
+	if hits != 5 || fired != 2 {
+		t.Errorf("Stats = (%d, %d), want (5, 2)", hits, fired)
+	}
+}
+
+func TestProbabilityTriggerIsSeedDeterministic(t *testing.T) {
+	fires := func(seed uint64) []bool {
+		p := Point("test.prob")
+		defer p.Disarm()
+		p.Arm(Behavior{Prob: 0.5, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Hit(context.Background()) != nil
+		}
+		return out
+	}
+	a, b := fires(7), fires(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := fires(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-hit fire patterns")
+	}
+	var n int
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times — trigger looks degenerate", n, len(a))
+	}
+}
+
+func TestSleepInjection(t *testing.T) {
+	p := Point("test.sleep")
+	defer p.Disarm()
+	p.Arm(Behavior{Kind: KindSleep, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := p.Hit(context.Background()); err != nil {
+		t.Fatalf("sleep hit errored: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("sleep returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestSleepObservesContext(t *testing.T) {
+	p := Point("test.sleepctx")
+	defer p.Disarm()
+	p.Arm(Behavior{Kind: KindSleep, Delay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Hit(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("sleep did not abort with the context")
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := Point("test.panic")
+	defer p.Disarm()
+	p.Arm(Behavior{Kind: KindPanic, Count: 1})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("armed panic point did not panic")
+		}
+	}()
+	_ = p.Hit(context.Background())
+}
+
+func TestDisarmAll(t *testing.T) {
+	p := Point("test.disarmall")
+	p.Arm(Behavior{})
+	DisarmAll()
+	if p.Armed() {
+		t.Error("point still armed after DisarmAll")
+	}
+	if err := p.Hit(context.Background()); err != nil {
+		t.Errorf("Hit after DisarmAll = %v", err)
+	}
+}
+
+func TestConcurrentHitsAreRaceFreeAndCounted(t *testing.T) {
+	p := Point("test.concurrent")
+	defer p.Disarm()
+	p.Arm(Behavior{Count: 10})
+	var wg sync.WaitGroup
+	var injected sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if p.Hit(context.Background()) != nil {
+					n++
+				}
+			}
+			injected.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	injected.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 10 {
+		t.Errorf("fired %d injections across goroutines, want exactly 10", total)
+	}
+	hits, fired := p.Stats()
+	if hits != 800 || fired != 10 {
+		t.Errorf("Stats = (%d, %d), want (800, 10)", hits, fired)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		want Behavior
+	}{
+		{"vdps.generate:err:3", "vdps.generate", Behavior{Kind: KindError, Count: 3}},
+		{"jobs.run:err", "jobs.run", Behavior{Kind: KindError}},
+		{"jobs.run:sleep:50ms", "jobs.run", Behavior{Kind: KindSleep, Delay: 50 * time.Millisecond}},
+		{"jobs.run:sleep:50ms:p=0.5:seed=7", "jobs.run",
+			Behavior{Kind: KindSleep, Delay: 50 * time.Millisecond, Prob: 0.5, Seed: 7}},
+		{"game.fgt.round:panic:1", "game.fgt.round", Behavior{Kind: KindPanic, Count: 1}},
+		{"platform.solve:err:p=0.25", "platform.solve", Behavior{Kind: KindError, Prob: 0.25}},
+	}
+	for _, c := range cases {
+		name, b, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q) error: %v", c.spec, err)
+			continue
+		}
+		if name != c.name || b != c.want {
+			t.Errorf("ParseSpec(%q) = %q, %+v; want %q, %+v", c.spec, name, b, c.name, c.want)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"", "noseparator", "x:boom", "x:err:p=2", "x:err:p=0", "x:err:-1",
+		"x:err:0", "x:sleep", "x:sleep:nope", "x:err:seed=x", "x:err:50ms",
+		":err",
+	} {
+		if _, _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestArmSpecsRejectsUnknownPoint(t *testing.T) {
+	err := ArmSpecs("definitely.not.registered:err")
+	if err == nil || !strings.Contains(err.Error(), "unknown failpoint") {
+		t.Fatalf("err = %v, want unknown-failpoint error", err)
+	}
+}
+
+func TestArmSpecsArmsMultiple(t *testing.T) {
+	a, b := Point("test.multi.a"), Point("test.multi.b")
+	defer DisarmAll()
+	if err := ArmSpecs("test.multi.a:err:1, test.multi.b:sleep:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Armed() || !b.Armed() {
+		t.Error("ArmSpecs left a named point disarmed")
+	}
+}

@@ -1,0 +1,205 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy configures a Retrier: capped exponential backoff with seeded,
+// deterministic jitter. The zero value of every field selects a sensible
+// default, but the zero policy as a whole means "one attempt, no retry" —
+// retrying is always an explicit decision.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry. Zero means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means 2s.
+	MaxDelay time.Duration
+	// Multiplier is the per-retry growth factor. Zero means 2.
+	Multiplier float64
+	// Jitter randomizes each delay by up to this fraction of its value,
+	// in [0, 1). The draw comes from a PCG seeded with Seed, so the full
+	// delay schedule is a pure function of the policy — two runs with the
+	// same policy sleep the same sequence (bit-reproducible chaos runs
+	// depend on this; wall-clock randomness would break them).
+	Jitter float64
+	// Seed seeds the jitter PCG.
+	Seed uint64
+	// Retryable classifies errors; a false return stops immediately.
+	// Nil means "retry everything except context cancellation/expiry".
+	Retryable func(error) bool
+	// OnRetry is invoked before each backoff sleep with the 1-based number
+	// of the attempt that just failed, the delay about to be slept, and the
+	// error. Callers hang metrics and logs here. Nil disables it.
+	OnRetry func(attempt int, delay time.Duration, err error)
+	// Sleep waits between attempts; tests substitute a recording stub.
+	// Nil means a context-aware timer sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// withDefaults fills the policy's zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Retryable == nil {
+		p.Retryable = DefaultRetryable
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepContext
+	}
+	return p
+}
+
+// DefaultRetryable retries every error except context cancellation and
+// deadline expiry: those mean the caller is gone or out of time, and more
+// attempts only burn CPU the context already withdrew.
+func DefaultRetryable(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// Schedule returns the policy's full backoff schedule — the delay before
+// retry 1, 2, ... — as a pure function of the policy. Two policies with
+// equal fields produce identical schedules; tests assert determinism
+// against this.
+func (p RetryPolicy) Schedule() []time.Duration {
+	p = p.withDefaults()
+	if p.MaxAttempts < 2 {
+		return nil
+	}
+	rng := newJitterRNG(p)
+	out := make([]time.Duration, p.MaxAttempts-1)
+	d := p.BaseDelay
+	for i := range out {
+		out[i] = jitterDelay(d, p.Jitter, rng)
+		d = nextDelay(d, p)
+	}
+	return out
+}
+
+// RetryError wraps the final error of an exhausted retry loop with the
+// number of attempts made. Unwrap exposes the cause, so errors.Is
+// classification (context errors, fault.ErrInjected, ...) keeps working.
+type RetryError struct {
+	// Attempts is how many times the operation ran.
+	Attempts int
+	// Err is the last attempt's error; never nil.
+	Err error
+}
+
+// Error implements error.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("fault: %d attempt(s) failed: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Retrier executes operations under a RetryPolicy. It is stateless across
+// Do calls — every Do derives its jitter from the policy seed alone — so one
+// Retrier is safe for concurrent use and every call sees the same schedule.
+type Retrier struct {
+	policy RetryPolicy
+}
+
+// NewRetrier returns a Retrier over the policy with defaults applied.
+func NewRetrier(p RetryPolicy) *Retrier {
+	return &Retrier{policy: p.withDefaults()}
+}
+
+// Policy returns the effective (default-filled) policy.
+func (r *Retrier) Policy() RetryPolicy { return r.policy }
+
+// Do runs op until it succeeds, exhausts MaxAttempts, hits a non-retryable
+// error, or ctx is done. The returned error is nil on success, ctx.Err()
+// when the context ended the loop, op's own error when it was not
+// retryable, and a *RetryError wrapping the final error when every attempt
+// failed.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	p := r.policy
+	attempts := p.MaxAttempts
+	if attempts < 2 {
+		return op(ctx)
+	}
+	rng := newJitterRNG(p)
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op(ctx)
+		if err == nil {
+			return nil
+		}
+		if !p.Retryable(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return &RetryError{Attempts: attempt, Err: err}
+		}
+		d := jitterDelay(delay, p.Jitter, rng)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, d, err)
+		}
+		if serr := p.Sleep(ctx, d); serr != nil {
+			return serr
+		}
+		delay = nextDelay(delay, p)
+	}
+}
+
+// newJitterRNG returns the seeded PCG a Do call (or Schedule) draws jitter
+// from, or nil when the policy has no jitter.
+func newJitterRNG(p RetryPolicy) *rand.Rand {
+	if p.Jitter <= 0 {
+		return nil
+	}
+	return rand.New(rand.NewPCG(p.Seed, 1))
+}
+
+// jitterDelay applies the deterministic jitter draw to one delay.
+func jitterDelay(d time.Duration, jitter float64, rng *rand.Rand) time.Duration {
+	if rng == nil || jitter <= 0 {
+		return d
+	}
+	// Spread the delay over [d*(1-jitter), d]: jitter shortens, never
+	// lengthens, so MaxDelay stays an upper bound for the whole schedule.
+	f := 1 - jitter*rng.Float64()
+	return time.Duration(float64(d) * f)
+}
+
+// nextDelay grows the backoff, capped at MaxDelay.
+func nextDelay(d time.Duration, p RetryPolicy) time.Duration {
+	n := time.Duration(float64(d) * p.Multiplier)
+	if n > p.MaxDelay || n <= 0 {
+		n = p.MaxDelay
+	}
+	return n
+}
+
+// sleepContext blocks for d or until ctx is done, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep records requested delays without actually sleeping.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetrierSucceedsFirstTry(t *testing.T) {
+	var slept []time.Duration
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, Sleep: noSleep(&slept)})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return nil })
+	if err != nil || calls != 1 || len(slept) != 0 {
+		t.Fatalf("err=%v calls=%d slept=%v, want nil/1/none", err, calls, slept)
+	}
+}
+
+func TestRetrierRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	r := NewRetrier(RetryPolicy{MaxAttempts: 5, Sleep: noSleep(&slept)})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || len(slept) != 2 {
+		t.Fatalf("err=%v calls=%d slept=%d, want nil/3/2", err, calls, len(slept))
+	}
+}
+
+func TestRetrierExhaustionWrapsRetryError(t *testing.T) {
+	var slept []time.Duration
+	cause := errors.New("always fails")
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, Sleep: noSleep(&slept)})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return cause })
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts != 3 || calls != 3 {
+		t.Errorf("Attempts=%d calls=%d, want 3/3", re.Attempts, calls)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("RetryError does not unwrap to the cause")
+	}
+}
+
+func TestRetrierStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the fatal error after 1 call", err, calls)
+	}
+	var re *RetryError
+	if errors.As(err, &re) {
+		t.Error("non-retryable error was wrapped in RetryError")
+	}
+}
+
+func TestRetrierDefaultRetryableStopsOnContextErrors(t *testing.T) {
+	if DefaultRetryable(context.Canceled) || DefaultRetryable(context.DeadlineExceeded) {
+		t.Error("DefaultRetryable retries context errors")
+	}
+	if !DefaultRetryable(errors.New("other")) {
+		t.Error("DefaultRetryable rejects a plain error")
+	}
+}
+
+func TestRetrierHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrier(RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond})
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 3 {
+		t.Errorf("kept retrying after cancel: %d calls", calls)
+	}
+}
+
+func TestRetrierSchedulesAreSeedDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	a, b := p.Schedule(), p.Schedule()
+	if len(a) != 5 {
+		t.Fatalf("schedule length %d, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same policy diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c := p2.Schedule()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestRetrierDoMatchesSchedule(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Jitter: 0.3, Seed: 9,
+		Sleep: noSleep(&slept)}
+	r := NewRetrier(p)
+	_ = r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	want := p.Schedule()
+	if len(slept) != len(want) {
+		t.Fatalf("slept %d delays, schedule has %d", len(slept), len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("delay %d: Do slept %v, Schedule says %v", i, slept[i], want[i])
+		}
+	}
+	// A second Do must sleep the identical sequence: the retrier is
+	// stateless across calls.
+	slept = nil
+	_ = r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("second Do diverged at delay %d", i)
+		}
+	}
+}
+
+func TestRetrierBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	s := p.Schedule()
+	want := []time.Duration{10, 20, 40, 50, 50, 50, 50}
+	for i := range want {
+		if s[i] != want[i]*time.Millisecond {
+			t.Errorf("delay %d = %v, want %v", i, s[i], want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestRetrierJitterNeverExceedsBaseSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond, Jitter: 0.9, Seed: 3}
+	plain := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond}
+	s, bound := p.Schedule(), plain.Schedule()
+	for i := range s {
+		if s[i] > bound[i] {
+			t.Errorf("jittered delay %d = %v exceeds unjittered %v", i, s[i], bound[i])
+		}
+		if s[i] <= 0 {
+			t.Errorf("jittered delay %d = %v, want positive", i, s[i])
+		}
+	}
+}
+
+func TestRetrierOnRetryHook(t *testing.T) {
+	type call struct {
+		attempt int
+		delay   time.Duration
+	}
+	var calls []call
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 3,
+		OnRetry:     func(a int, d time.Duration, _ error) { calls = append(calls, call{a, d}) },
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	})
+	_ = r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	if len(calls) != 2 || calls[0].attempt != 1 || calls[1].attempt != 2 {
+		t.Fatalf("OnRetry calls = %+v, want attempts 1 and 2", calls)
+	}
+}
+
+func TestRetrierSingleAttemptPolicyPassesThrough(t *testing.T) {
+	cause := errors.New("boom")
+	r := NewRetrier(RetryPolicy{})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return cause })
+	if err != cause || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want raw cause after 1 call", err, calls)
+	}
+}
+
+func TestRetrierRetriesInjectedFaults(t *testing.T) {
+	p := Point("test.retry.fp")
+	defer p.Disarm()
+	p.Arm(Behavior{Count: 2})
+	r := NewRetrier(RetryPolicy{MaxAttempts: 4,
+		Sleep: func(context.Context, time.Duration) error { return nil }})
+	err := r.Do(context.Background(), func(ctx context.Context) error { return p.Hit(ctx) })
+	if err != nil {
+		t.Fatalf("retrier did not outlast a 2-count failpoint: %v", err)
+	}
+	if hits, fired := p.Stats(); hits != 3 || fired != 2 {
+		t.Errorf("Stats = (%d, %d), want (3, 2)", hits, fired)
+	}
+}

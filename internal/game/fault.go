@@ -1,0 +1,7 @@
+package game
+
+import "fairtask/internal/fault"
+
+// fpFGTRound is hit once per FGT best-response round; armed chaos specs can
+// fail or delay a solve mid-convergence. Disarmed it is one atomic load.
+var fpFGTRound = fault.Point("game.fgt.round")

@@ -3,6 +3,7 @@ package game
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"fairtask/internal/fairness"
@@ -74,6 +75,10 @@ type Result struct {
 	Converged bool
 	// Trace holds per-round statistics when Options.Trace was set.
 	Trace []IterationStat
+	// Degraded names the degradation-ladder rung that produced this result
+	// ("sampled", "greedy"); empty for a full-fidelity exact solve. Set by
+	// the platform layer, not by solvers.
+	Degraded string
 }
 
 // ErrNoWorkers is returned when the instance has no workers.
@@ -112,6 +117,9 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if err := fpFGTRound.Hit(ctx); err != nil {
+			return nil, fmt.Errorf("game: fgt round %d: %w", iter, err)
 		}
 		if opt.RandomOrder {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })

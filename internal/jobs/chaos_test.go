@@ -1,0 +1,229 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fairtask/internal/fault"
+	"fairtask/internal/obs"
+)
+
+// fastRetry is a retry policy whose backoff is too short to slow tests down
+// but long enough to exercise the real sleep path.
+func fastRetry(attempts int) *fault.RetryPolicy {
+	return &fault.RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+	}
+}
+
+func TestChaosJobRetrySucceeds(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	reg := obs.NewRegistry()
+	ft := obs.NewFaultMetrics(reg)
+	m := New(Config{Workers: 1, QueueDepth: 4, Retry: fastRetry(3), Fault: ft})
+	defer m.Close(context.Background())
+
+	// The first two attempts fail with an injected error; the third runs.
+	fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindError, Count: 2})
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) { return "ok", nil })
+	fin, err := m.Wait(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Result != "ok" {
+		t.Fatalf("final = %+v, want done/ok", fin)
+	}
+	if fin.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", fin.Attempts)
+	}
+	if got := ft.RetryJobs.Value(); got != 2 {
+		t.Errorf("fta_retry_total{scope=jobs} = %d, want 2", got)
+	}
+	if got := ft.ExhaustedJobs.Value(); got != 0 {
+		t.Errorf("fta_retry_exhausted_total{scope=jobs} = %d, want 0", got)
+	}
+}
+
+func TestChaosJobRetryExhausted(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	reg := obs.NewRegistry()
+	ft := obs.NewFaultMetrics(reg)
+	m := New(Config{Workers: 1, QueueDepth: 4, Retry: fastRetry(2), Fault: ft})
+	defer m.Close(context.Background())
+
+	fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindError, Count: 100})
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) { return "ok", nil })
+	fin, err := m.Wait(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed {
+		t.Fatalf("state = %s, want failed", fin.State)
+	}
+	// The failure chain must stay errors.Is/As-able through the retry and
+	// injection wrappers.
+	if !errors.Is(fin.Err, fault.ErrInjected) {
+		t.Errorf("job error %v does not unwrap to fault.ErrInjected", fin.Err)
+	}
+	var re *fault.RetryError
+	if !errors.As(fin.Err, &re) {
+		t.Fatalf("job error %v is not a *fault.RetryError", fin.Err)
+	}
+	if re.Attempts != 2 {
+		t.Errorf("RetryError.Attempts = %d, want 2", re.Attempts)
+	}
+	if fin.Attempts != 2 {
+		t.Errorf("snapshot attempts = %d, want 2", fin.Attempts)
+	}
+	if got := ft.ExhaustedJobs.Value(); got != 1 {
+		t.Errorf("fta_retry_exhausted_total{scope=jobs} = %d, want 1", got)
+	}
+}
+
+// TestChaosJobPanicFailpointRecovered arms a panic-kind failpoint: the panic
+// must be recovered into a retryable *PanicError instead of killing the
+// worker goroutine, and the retry must then succeed.
+func TestChaosJobPanicFailpointRecovered(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	m := New(Config{Workers: 1, QueueDepth: 4, Retry: fastRetry(2)})
+	defer m.Close(context.Background())
+
+	fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindPanic, Count: 1})
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) { return 7, nil })
+	fin, err := m.Wait(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Result != 7 {
+		t.Fatalf("final = %+v, want done/7", fin)
+	}
+	if fin.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", fin.Attempts)
+	}
+}
+
+// TestChaosJobCancellationNotRetried pins down that context cancellation
+// stops the retry loop immediately: a canceled job must not burn its
+// remaining attempts.
+func TestChaosJobCancellationNotRetried(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	m := New(Config{Workers: 1, QueueDepth: 4, Retry: fastRetry(5)})
+	defer m.Close(context.Background())
+
+	started := make(chan struct{})
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if _, err := m.Cancel(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Wait(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", fin.State)
+	}
+	if fin.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (cancellation must not be retried)", fin.Attempts)
+	}
+}
+
+// TestChaosQueueSaturationWithFaults drives the queue to saturation while
+// every execution fails and retries: admission control must still reject
+// overload crisply, and the manager must drain cleanly afterwards.
+func TestChaosQueueSaturationWithFaults(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	m := New(Config{Workers: 2, QueueDepth: 2, Retry: fastRetry(3)})
+
+	release := make(chan struct{})
+	// Occupy both workers with blocking tasks, then fill the queue.
+	for i := 0; i < 2; i++ {
+		mustSubmit(t, m, sleepTask(release))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Running < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never picked up the blocking jobs")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every execution from here on fails and retries; the queued jobs churn
+	// through their retry budgets during the drain below.
+	fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindError, Count: 1000})
+	for i := 0; i < 2; i++ {
+		mustSubmit(t, m, func(ctx context.Context) (any, error) { return nil, nil })
+	}
+	if _, err := m.Submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated Submit err = %v, want ErrQueueFull", err)
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("Close with faults armed: %v", err)
+	}
+}
+
+// TestChaosRetryScheduleDeterministic re-runs an identical failing job under
+// the same seeded policy and demands the identical backoff schedule.
+func TestChaosRetryScheduleDeterministic(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	run := func() []time.Duration {
+		var delays []time.Duration
+		pol := fastRetry(4)
+		pol.Jitter = 0.5
+		pol.Seed = 99
+		pol.OnRetry = func(_ int, d time.Duration, _ error) { delays = append(delays, d) }
+		m := New(Config{Workers: 1, QueueDepth: 2, Retry: pol})
+		defer m.Close(context.Background())
+
+		fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindError, Count: 1000})
+		s := mustSubmit(t, m, func(ctx context.Context) (any, error) { return nil, nil })
+		if _, err := m.Wait(context.Background(), s.ID); err != nil {
+			t.Fatal(err)
+		}
+		return delays
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("retry counts = %d, %d, want 3 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff schedules diverge at retry %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestChaosSleepFailpointNeverHangs arms a latency failpoint far longer than
+// the job timeout: the injected sleep must yield to the context instead of
+// hanging the worker.
+func TestChaosSleepFailpointNeverHangs(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	m := New(Config{Workers: 1, QueueDepth: 2, Timeout: 20 * time.Millisecond})
+	defer m.Close(context.Background())
+
+	fault.Lookup("jobs.run").Arm(fault.Behavior{Kind: fault.KindSleep, Delay: time.Hour})
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) { return nil, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fin, err := m.Wait(ctx, s.ID)
+	if err != nil {
+		t.Fatalf("job hung on an injected sleep: %v", err)
+	}
+	if fin.State != StateFailed && fin.State != StateCanceled {
+		t.Fatalf("state = %s, want failed or canceled", fin.State)
+	}
+	if !errors.Is(fin.Err, context.DeadlineExceeded) && !errors.Is(fin.Err, context.Canceled) {
+		t.Errorf("err = %v, want a context error", fin.Err)
+	}
+}

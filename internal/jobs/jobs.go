@@ -25,11 +25,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
+	"fairtask/internal/fault"
 	"fairtask/internal/obs"
 )
 
@@ -89,6 +91,16 @@ type Config struct {
 	Timeout time.Duration
 	// Metrics receives the subsystem's telemetry. Nil disables it.
 	Metrics *obs.JobsMetrics
+	// Retry re-executes failed job tasks under this policy — capped
+	// exponential backoff with deterministic seeded jitter. The whole retry
+	// loop runs inside the job's deadline (Timeout), and context
+	// cancellation is never retried, so a canceled job stops immediately.
+	// Nil or MaxAttempts < 2 disables retrying. A panicking attempt is
+	// recovered into a *PanicError and counts as a retryable failure.
+	Retry *fault.RetryPolicy
+	// Fault receives retry telemetry (fta_retry_total{scope="jobs"}).
+	// Nil disables it.
+	Fault *obs.FaultMetrics
 	// Logger receives job lifecycle logs. Nil disables logging.
 	Logger *slog.Logger
 	// Clock overrides time.Now for tests.
@@ -130,6 +142,9 @@ type Snapshot struct {
 	Err error
 	// Result is the task's return value for done jobs.
 	Result any
+	// Attempts is how many times the task ran (1 without retries; 0 for
+	// jobs that never started).
+	Attempts int
 }
 
 // job is the manager-internal record; all fields past task are guarded by
@@ -145,6 +160,7 @@ type job struct {
 	finished  time.Time
 	err       error
 	result    any
+	attempts  int
 	cancelReq bool
 	done      chan struct{} // closed on reaching a terminal state
 }
@@ -410,7 +426,7 @@ func (m *Manager) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
 		defer cancel()
 	}
-	result, err := runTask(ctx, j.task)
+	result, err := m.execute(ctx, j)
 
 	m.mu.Lock()
 	m.running--
@@ -458,6 +474,66 @@ func (m *Manager) finishLocked(j *job, state State, err error, result any) {
 		}
 		m.cfg.Logger.Info("job finished", attrs...)
 	}
+}
+
+// fpRun is hit at the start of every job task attempt, so chaos specs can
+// fail, delay or panic job executions ("jobs.run:err:3"). Disarmed it is one
+// atomic load per attempt.
+var fpRun = fault.Point("jobs.run")
+
+// execute runs the job's task once, or under Config.Retry when retrying is
+// enabled. Each attempt passes the jobs.run failpoint first, and a panicking
+// attempt — task or failpoint — is recovered into a *PanicError, so retry
+// treats panics like failures.
+func (m *Manager) execute(ctx context.Context, j *job) (any, error) {
+	var result any
+	attempt := func(actx context.Context) (err error) {
+		m.mu.Lock()
+		j.attempts++
+		m.mu.Unlock()
+		// The recover covers the failpoint as well as the task, so a
+		// panic-kind jobs.run arming is a retryable failure, not a dead
+		// worker goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r}
+			}
+		}()
+		if err := fpRun.Hit(actx); err != nil {
+			return fmt.Errorf("jobs: run: %w", err)
+		}
+		result, err = runTask(actx, j.task)
+		return err
+	}
+	p := m.cfg.Retry
+	if p == nil || p.MaxAttempts < 2 {
+		return result, attempt(ctx)
+	}
+	pol := *p
+	chain := pol.OnRetry
+	pol.OnRetry = func(n int, d time.Duration, err error) {
+		if ft := m.cfg.Fault; ft != nil {
+			ft.RetryJobs.Inc()
+		}
+		if m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("job attempt failed, retrying",
+				"job", j.id, "attempt", n, "backoff", d, "error", err.Error())
+		}
+		if chain != nil {
+			chain(n, d, err)
+		}
+	}
+	err := fault.NewRetrier(pol).Do(ctx, attempt)
+	if err != nil {
+		var re *fault.RetryError
+		if errors.As(err, &re) {
+			if ft := m.cfg.Fault; ft != nil {
+				ft.ExhaustedJobs.Inc()
+			}
+		}
+		return nil, err
+	}
+	return result, nil
 }
 
 // runTask invokes the task, converting a panic into an error so one bad
@@ -550,6 +626,7 @@ func snapshotLocked(j *job) Snapshot {
 		FinishedAt:  j.finished,
 		Err:         j.err,
 		Result:      j.result,
+		Attempts:    j.attempts,
 	}
 }
 

@@ -57,6 +57,9 @@ type SolveEvent struct {
 	Converged bool
 	// Elapsed is the solve wall time, excluding VDPS generation.
 	Elapsed time.Duration
+	// Degraded names the degradation-ladder rung that served the solve
+	// ("sampled", "greedy"); empty for a full-fidelity exact solve.
+	Degraded string
 }
 
 // AssignEvent summarizes one multi-center platform assignment.
@@ -165,6 +168,13 @@ func (m *MetricsRecorder) RecordSolve(e SolveEvent) {
 	m.solveSeconds.Observe(e.Elapsed.Seconds())
 	m.reg.Counter("fta_solve_total", "Completed single-center solves.",
 		L("algorithm", e.Algorithm), L("converged", strconv.FormatBool(e.Converged))).Inc()
+	if e.Degraded != "" {
+		// Shares the fta_degrade_total family with NewFaultMetrics via the
+		// registry's first-registration semantics; counted here — and only
+		// here — so a degraded solve is never double-counted.
+		m.reg.Counter("fta_degrade_total",
+			"Solves served by a degradation-ladder rung.", L("rung", e.Degraded)).Inc()
+	}
 }
 
 // RecordAssign implements Recorder.

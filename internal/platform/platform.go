@@ -16,6 +16,7 @@ import (
 
 	"fairtask/internal/assign"
 	"fairtask/internal/audit"
+	"fairtask/internal/fault"
 	"fairtask/internal/game"
 	"fairtask/internal/model"
 	"fairtask/internal/obs"
@@ -42,6 +43,14 @@ type Options struct {
 	// reported, not fatal — policy is the caller's (the library fails the
 	// solve, the HTTP service returns the report).
 	Audit *audit.Options
+	// Retry retries each per-center solve attempt (candidate generation +
+	// solver run) under this policy. Nil or MaxAttempts < 2 disables
+	// retrying. Context cancellation and deadline expiry are never retried.
+	Retry *fault.RetryPolicy
+	// Degrade enables the exact→sampled→greedy degradation ladder for
+	// per-center solves; see Degrade. Nil (the default) means exact-only:
+	// a failed solve fails the assignment.
+	Degrade *Degrade
 }
 
 // Result is the outcome of a one-shot multi-center assignment.
@@ -61,6 +70,10 @@ type Result struct {
 	// indexed like PerCenter (nil entries for centers without workers,
 	// which produce empty assignments without a solver run).
 	Audit []*audit.Report
+	// Degraded is the worst degradation rung that served any center
+	// ("" = every center solved exactly, RungSampled, RungGreedy); see
+	// the per-center rungs in PerCenter[i].Degraded.
+	Degraded string
 }
 
 // AuditOK reports whether every executed audit passed. It is vacuously true
@@ -107,11 +120,6 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		par = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	vopt := opt.VDPS
-	if vopt.Recorder == nil {
-		vopt.Recorder = opt.Recorder
-	}
-
 	res := &Result{PerCenter: make([]*game.Result, len(p.Instances))}
 	if opt.Audit != nil {
 		res.Audit = make([]*audit.Report, len(p.Instances))
@@ -130,12 +138,21 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 			mu.Unlock()
 			break
 		}
+		// Centers without workers yield an empty result without a solver
+		// run (or an audit): there is nothing to assign.
+		if len(p.Instances[i].Workers) == 0 {
+			res.PerCenter[i] = &game.Result{
+				Assignment: model.NewAssignment(0),
+				Converged:  true,
+			}
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, rep, err := solveInstance(ctx, &p.Instances[i], solver, vopt, opt.Recorder, opt.Audit)
+			r, rep, err := SolveInstance(ctx, &p.Instances[i], solver, opt)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -157,6 +174,7 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 
 	for _, r := range res.PerCenter {
 		res.Payoffs = append(res.Payoffs, r.Summary.Payoffs...)
+		res.Degraded = worseRung(res.Degraded, r.Degraded)
 	}
 	res.Difference = payoff.Difference(res.Payoffs)
 	res.Average = payoff.Average(res.Payoffs)
@@ -176,45 +194,4 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		})
 	}
 	return res, nil
-}
-
-// solveInstance generates VDPSs for one center and runs the solver, followed
-// by an independent audit of the result when aopt is set. Centers without
-// workers yield an empty, unaudited result rather than an error.
-func solveInstance(ctx context.Context, in *model.Instance, solver assign.Assigner, vopt vdps.Options, rec obs.Recorder, aopt *audit.Options) (*game.Result, *audit.Report, error) {
-	if len(in.Workers) == 0 {
-		return &game.Result{
-			Assignment: model.NewAssignment(0),
-			Converged:  true,
-		}, nil, nil
-	}
-	g, err := vdps.GenerateContext(ctx, in, vopt)
-	if err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	r, err := solver.Assign(ctx, g)
-	if err != nil {
-		return nil, nil, err
-	}
-	if rec != nil {
-		rec.RecordSolve(obs.SolveEvent{
-			Algorithm:  solver.Name(),
-			CenterID:   in.CenterID,
-			Workers:    len(in.Workers),
-			Points:     len(in.Points),
-			Iterations: r.Iterations,
-			Converged:  r.Converged,
-			Elapsed:    time.Since(start),
-		})
-	}
-	var rep *audit.Report
-	if aopt != nil {
-		o := *aopt
-		o.Generator = g
-		o.Algorithm = solver.Name()
-		o.Converged = r.Converged
-		rep = audit.Run(in, r.Assignment, &r.Summary, o)
-	}
-	return r, rep, nil
 }

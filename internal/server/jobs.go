@@ -24,6 +24,9 @@ type JobResponse struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Error is the failure or cancellation cause for failed/canceled jobs.
 	Error string `json:"error,omitempty"`
+	// Attempts is how many times the solve ran, counting backoff retries;
+	// omitted for jobs that have not started.
+	Attempts int `json:"attempts,omitempty"`
 	// Result is the solve outcome, present only in state done.
 	Result *SolveResponse `json:"result,omitempty"`
 }
@@ -46,6 +49,7 @@ func jobResponse(s jobs.Snapshot) JobResponse {
 	if s.Err != nil {
 		resp.Error = s.Err.Error()
 	}
+	resp.Attempts = s.Attempts
 	if sr, ok := s.Result.(*SolveResponse); ok {
 		resp.Result = sr
 	}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fairtask/internal/fault"
+	"fairtask/internal/jobs"
+	"fairtask/internal/obs"
+	"fairtask/internal/platform"
+)
+
+// newChaosServer builds a handler wired exactly like `fta serve --degrade
+// --retry-max`: metrics recorder, solve-scope retry, degradation ladder and
+// the async job API.
+func newChaosServer(t *testing.T) (*Handler, *jobs.Manager) {
+	t.Helper()
+	h := New(testFactory)
+	h.Recorder = obs.NewMetricsRecorder(h.Registry)
+	h.Retry = &fault.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}
+	h.Degrade = &platform.Degrade{}
+	m := jobs.New(jobs.Config{
+		Workers: 2, QueueDepth: 8,
+		Metrics: obs.NewJobsMetrics(h.Registry),
+		Retry:   &fault.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond},
+		Fault:   obs.NewFaultMetrics(h.Registry),
+	})
+	h.Jobs = m
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := m.Close(ctx); err != nil {
+			t.Errorf("drain with faults armed: %v", err)
+		}
+	})
+	t.Cleanup(fault.DisarmAll)
+	return h, m
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestChaosJobDegradesE2E is the full resilience story over the wire: an
+// armed failpoint breaks exact candidate generation, the job's solve retries,
+// degrades to the sampled rung, completes — and the retry and degrade
+// counters land on /metrics. problemCSV has two centers, so every per-center
+// count is exactly 2.
+func TestChaosJobDegradesE2E(t *testing.T) {
+	h, _ := newChaosServer(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if err := fault.ArmSpecs("vdps.generate:err:10"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/jobs?alg=GTA&eps=2", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+
+	fin := pollJob(t, srv.URL, jr.ID)
+	if fin.State != "done" {
+		t.Fatalf("job state = %s (error %q), want done", fin.State, fin.Error)
+	}
+	if fin.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if fin.Result.Degraded != platform.RungSampled {
+		t.Fatalf("degraded = %q, want %q", fin.Result.Degraded, platform.RungSampled)
+	}
+	// The degradation ladder absorbed the faults, so the job itself
+	// succeeded on its first attempt.
+	if fin.Attempts != 1 {
+		t.Errorf("job attempts = %d, want 1", fin.Attempts)
+	}
+
+	body := scrapeMetrics(t, srv.URL)
+	for _, sample := range []string{
+		`fta_retry_total{scope="solve"} 2`,
+		`fta_degrade_total{rung="sampled"} 2`,
+		`fta_retry_total{scope="jobs"} 0`,
+	} {
+		if !strings.Contains(body, sample+"\n") {
+			t.Errorf("metrics missing %q in:\n%s", sample, body)
+		}
+	}
+}
+
+// TestDegradeSyncSolveE2E covers the synchronous /solve path: the response
+// itself carries the serving rung.
+func TestDegradeSyncSolveE2E(t *testing.T) {
+	h, _ := newChaosServer(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if err := fault.ArmSpecs("vdps.generate:err:100"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/solve?alg=GTA&eps=2", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, b)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded != platform.RungSampled {
+		t.Errorf("degraded = %q, want %q", out.Degraded, platform.RungSampled)
+	}
+	if len(out.Routes) == 0 {
+		t.Error("degraded solve returned no routes")
+	}
+}
+
+// TestChaosJobRetryExhaustedE2E arms faults deeper than the ladder can
+// absorb: the job fails, the error is reported over the wire, and the
+// exhaustion counters tick.
+func TestChaosJobRetryExhaustedE2E(t *testing.T) {
+	h, _ := newChaosServer(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Break every rung: exact and sampled generation plus the greedy rung's
+	// sampled generator all keep failing.
+	if err := fault.ArmSpecs("vdps.generate:err:1000, vdps.sample:err:1000"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/jobs?alg=GTA&eps=2", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := decodeJob(t, resp.Body)
+	resp.Body.Close()
+
+	fin := pollJob(t, srv.URL, jr.ID)
+	if fin.State != "failed" {
+		t.Fatalf("job state = %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "injected") {
+		t.Errorf("job error %q does not mention the injected fault", fin.Error)
+	}
+	// Jobs-scope retry engaged after the whole solve (ladder included)
+	// failed: MaxAttempts 2 means one retry, one exhaustion.
+	if fin.Attempts != 2 {
+		t.Errorf("job attempts = %d, want 2", fin.Attempts)
+	}
+	body := scrapeMetrics(t, srv.URL)
+	for _, sample := range []string{
+		`fta_retry_total{scope="jobs"} 1`,
+		`fta_retry_exhausted_total{scope="jobs"} 1`,
+	} {
+		if !strings.Contains(body, sample+"\n") {
+			t.Errorf("metrics missing %q in:\n%s", sample, body)
+		}
+	}
+}
+
+// TestChaosDrainWithFaultsArmed floods the queue while every execution
+// fails, then drains: Close must return cleanly and every job must reach a
+// terminal state.
+func TestChaosDrainWithFaultsArmed(t *testing.T) {
+	h, m := newChaosServer(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if err := fault.ArmSpecs("jobs.run:err:1000"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(srv.URL+"/jobs?alg=GTA&eps=2", "text/csv",
+			bytes.NewReader(problemCSV(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jr := decodeJob(t, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d", i, resp.StatusCode)
+		}
+		ids = append(ids, jr.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("Close with faults armed: %v", err)
+	}
+	for _, id := range ids {
+		s, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after drain: %v", id, err)
+		}
+		if !s.State.Terminal() {
+			t.Errorf("job %s not terminal after drain: %s", id, s.State)
+		}
+	}
+}

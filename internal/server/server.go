@@ -19,6 +19,7 @@ import (
 	"fairtask/internal/assign"
 	"fairtask/internal/audit"
 	"fairtask/internal/dataset"
+	"fairtask/internal/fault"
 	"fairtask/internal/jobs"
 	"fairtask/internal/model"
 	"fairtask/internal/obs"
@@ -65,6 +66,14 @@ type Handler struct {
 	// is canceled after this long and the client receives 503. Zero means
 	// no server-imposed deadline.
 	SolveTimeout time.Duration
+	// Retry retries each per-center solve attempt under this policy, with
+	// fta_retry_total{scope="solve"} counting the retries. Nil disables
+	// retrying.
+	Retry *fault.RetryPolicy
+	// Degrade enables the exact→sampled→greedy degradation ladder for all
+	// solves; the serving rung is reported in SolveResponse.Degraded and
+	// counted in fta_degrade_total{rung}. Nil means exact-only.
+	Degrade *platform.Degrade
 }
 
 // New builds the handler around a solver factory with a fresh metrics
@@ -81,6 +90,7 @@ func New(factory Factory) *Handler {
 	h.mux.HandleFunc("DELETE /jobs/{id}", h.jobCancel)
 	seedHTTPMetrics(h.Registry)
 	obs.NewAuditMetrics(h.Registry)
+	obs.NewFaultMetrics(h.Registry)
 	return h
 }
 
@@ -178,6 +188,9 @@ type SolveResponse struct {
 	ElapsedMS  float64        `json:"elapsed_ms"`
 	Routes     []WorkerRoute  `json:"routes"`
 	Audit      *AuditResponse `json:"audit,omitempty"`
+	// Degraded names the worst degradation-ladder rung that served any
+	// center ("sampled", "greedy"); omitted for full-fidelity solves.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -274,8 +287,30 @@ func (h *Handler) parseSolveRequest(w http.ResponseWriter, r *http.Request) *sol
 			Parallelism: par,
 			Recorder:    h.Recorder,
 			Audit:       aopt,
+			Retry:       h.retryPolicy(),
+			Degrade:     h.Degrade,
 		},
 	}
+}
+
+// retryPolicy clones the handler's retry policy with the solve-scope retry
+// counter chained onto OnRetry. Nil when retrying is disabled.
+func (h *Handler) retryPolicy() *fault.RetryPolicy {
+	if h.Retry == nil {
+		return nil
+	}
+	p := *h.Retry
+	if h.Registry != nil {
+		fm := obs.NewFaultMetrics(h.Registry)
+		chain := p.OnRetry
+		p.OnRetry = func(attempt int, delay time.Duration, err error) {
+			fm.RetrySolve.Inc()
+			if chain != nil {
+				chain(attempt, delay, err)
+			}
+		}
+	}
+	return &p
 }
 
 // auditResponse folds the per-center audit reports into the response block
@@ -316,11 +351,22 @@ func (h *Handler) auditResponse(prob *model.Problem, res *platform.Result) *Audi
 	return ar
 }
 
+// fpServe is hit once per executed solve request (synchronous or job), so
+// chaos specs can fail requests above the solver layer ("server.solve:err:1").
+var fpServe = fault.Point("server.solve")
+
 // runSolve executes a parsed solve request and builds the response body.
 func (h *Handler) runSolve(ctx context.Context, req *solveRequest) (*SolveResponse, error) {
+	if err := fpServe.Hit(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := platform.AssignContext(ctx, req.prob, req.solver, req.opt)
 	if err != nil {
+		var re *fault.RetryError
+		if errors.As(err, &re) && h.Registry != nil {
+			obs.NewFaultMetrics(h.Registry).ExhaustedSolve.Inc()
+		}
 		return nil, err
 	}
 	resp := &SolveResponse{
@@ -331,6 +377,7 @@ func (h *Handler) runSolve(ctx context.Context, req *solveRequest) (*SolveRespon
 		Gini:       payoff.Gini(res.Payoffs),
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
 		Audit:      h.auditResponse(req.prob, res),
+		Degraded:   res.Degraded,
 	}
 	for i, pc := range res.PerCenter {
 		in := &req.prob.Instances[i]

@@ -1,0 +1,10 @@
+package vdps
+
+import "fairtask/internal/fault"
+
+// Failpoints for chaos testing the candidate-generation layer. Disarmed
+// (always, outside chaos runs) each costs one atomic load per generation.
+var (
+	fpGenerate = fault.Point("vdps.generate")
+	fpSample   = fault.Point("vdps.sample")
+)

@@ -2,6 +2,7 @@ package vdps
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -55,6 +56,9 @@ func GenerateSampledContext(ctx context.Context, in *model.Instance, opt SampleO
 	begin := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if err := fpSample.Hit(ctx); err != nil {
+		return nil, fmt.Errorf("vdps: sample: %w", err)
 	}
 	eps := opt.Epsilon
 	if eps <= 0 {

@@ -197,6 +197,9 @@ func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Gen
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("vdps: %w", err)
 	}
+	if err := fpGenerate.Hit(ctx); err != nil {
+		return nil, fmt.Errorf("vdps: generate: %w", err)
+	}
 	maxSize := opt.MaxSize
 	if maxSize <= 0 {
 		maxSize = derivedMaxSize(in)
