@@ -72,6 +72,8 @@ func run(args []string) error {
 		return cmdOnline(args[1:])
 	case "render":
 		return cmdRender(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "help", "-h", "--help":
@@ -95,6 +97,7 @@ subcommands:
   audit   re-verify a saved route CSV against its dataset
   online  replay a random task stream through the online matcher
   render  draw one center's assignment as an SVG map
+  trace   analyze a span file written by assign -span-out
   serve   run the assignment engine as an HTTP service
 
 run "fta <subcommand> -h" for flags.`)
@@ -209,6 +212,7 @@ func cmdAssign(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed for FGT/IEGT")
 		routes    = fs.String("routes", "", "optional path for a per-stop route CSV export")
 		traceOut  = fs.String("trace-out", "", "write the per-iteration convergence trace as JSONL (FGT/IEGT)")
+		spanOut   = fs.String("span-out", "", "write a span timeline as Chrome trace_event JSON (Perfetto-loadable; analyze with fta trace)")
 		degrade   = fs.Bool("degrade", false, "fall back exact→sampled→greedy when a solve stage fails or exceeds its budget")
 		degradeTO = fs.Duration("degrade-budget", 10*time.Second, "per-rung wall-clock budget for -degrade")
 		retryMax  = fs.Int("retry-max", 0, "retry failed per-center solves up to this many total attempts (0 = no retry)")
@@ -249,9 +253,25 @@ func cmdAssign(args []string) error {
 		// output across invocations, so they solve centers sequentially.
 		opt.Parallelism = 1
 	}
-	res, err := fairtask.SolveProblem(prob, opt)
+	ctx := context.Background()
+	var tracer *fairtask.Tracer
+	var rootSp *fairtask.Span
+	if *spanOut != "" {
+		tracer = fairtask.NewTracer()
+		rootSp = tracer.Root("fta assign")
+		rootSp.SetAttr("algorithm", *alg)
+		rootSp.SetAttrInt("centers", len(prob.Instances))
+		ctx = fairtask.ContextWithSpan(ctx, rootSp)
+	}
+	res, err := fairtask.SolveProblemContext(ctx, prob, opt)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		rootSp.End()
+		if err := writeSpanFile(*spanOut, tracer.Collect("fta assign")); err != nil {
+			return err
+		}
 	}
 	if *traceOut != "" {
 		if err := writeTraceJSONL(*traceOut, *alg, prob, res); err != nil {
@@ -699,6 +719,14 @@ func newServerHandler(logger *slog.Logger) *server.Handler {
 		return fairtask.NewAssigner(opt)
 	})
 	rec = fairtask.NewMetricsRecorder(h.Registry)
+	// Seed every algorithm's labeled metric families so dashboards and rate()
+	// queries see them at zero from the first scrape instead of appearing
+	// only after the first solve.
+	algs := make([]string, 0, len(fairtask.ExtendedAlgorithms()))
+	for _, a := range fairtask.ExtendedAlgorithms() {
+		algs = append(algs, string(a))
+	}
+	rec.SeedAlgorithms(algs...)
 	h.Recorder = rec
 	h.Logger = logger
 	return h
@@ -777,6 +805,7 @@ func cmdServe(args []string) error {
 		degradeTO  = fs.Duration("degrade-budget", 10*time.Second, "per-rung wall-clock budget for -degrade")
 		retryMax   = fs.Int("retry-max", 0, "retry failed solves/jobs up to this many total attempts (0 = no retry)")
 		failSpecs  = fs.String("fail", "", "arm chaos failpoints, e.g. 'vdps.generate:err:3' (dev only; see docs/RESILIENCE.md)")
+		traceRing  = fs.Int("trace-ring", 32, "recent solve traces retained at GET /debug/traces (0 disables span tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -792,6 +821,11 @@ func cmdServe(args []string) error {
 		logger.Warn("chaos failpoints armed", "specs", *failSpecs)
 	}
 	handler := newServerHandler(logger)
+	if *traceRing <= 0 {
+		handler.Traces = nil
+	} else {
+		handler.Traces = obs.NewTraceRing(*traceRing)
+	}
 	if *degrade {
 		handler.Degrade = &platform.Degrade{
 			ExactBudget:   *degradeTO,
@@ -811,6 +845,7 @@ func cmdServe(args []string) error {
 		Metrics:    obs.NewJobsMetrics(handler.Registry),
 		Retry:      retry,
 		Fault:      obs.NewFaultMetrics(handler.Registry),
+		Traces:     handler.Traces,
 		Logger:     logger,
 	})
 	handler.Jobs = manager

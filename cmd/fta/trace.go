@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"fairtask"
+	"fairtask/internal/obs"
+)
+
+// writeSpanFile persists collected span traces as a Chrome trace_event JSON
+// file, loadable in Perfetto or chrome://tracing and readable back with the
+// trace subcommand.
+func writeSpanFile(path string, traces ...fairtask.SpanTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fairtask.WriteChromeTrace(f, traces...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var (
+		in    = fs.String("in", "", "Chrome trace_event span file written by fta assign -span-out")
+		top   = fs.Int("top", 5, "slowest spans to list (0 = skip)")
+		phase = fs.String("phase", "center.solve", "phase whose slowest spans to list (empty = all phases)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("trace: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	traces, err := obs.ReadChromeTrace(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("trace: %s: %w", *in, err)
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := printTraceBreakdown(tr, *phase, *top); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTraceBreakdown prints one trace's per-phase aggregation as a table
+// (self/total time, count, p50/p99) followed by the slowest spans of the
+// requested phase.
+func printTraceBreakdown(tr obs.Trace, phase string, top int) error {
+	fmt.Printf("trace %q: %d spans over %s\n", tr.Name, len(tr.Spans), fmtDur(tr.Duration()))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "phase\tcount\ttotal\tself\tp50\tp99\tmax\t")
+	for _, ph := range obs.Breakdown(tr) {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t\n",
+			ph.Name, ph.Count, fmtDur(ph.Total), fmtDur(ph.Self),
+			fmtDur(ph.P50), fmtDur(ph.P99), fmtDur(ph.Max))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if top <= 0 {
+		return nil
+	}
+	slow := obs.TopSpans(tr, phase, top)
+	if len(slow) == 0 {
+		return nil
+	}
+	label := phase
+	if label == "" {
+		label = "any phase"
+	}
+	fmt.Printf("slowest %s spans:\n", label)
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, s := range slow {
+		detail := ""
+		for _, a := range s.Attrs {
+			detail += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t+%s%s\n", s.Name, fmtDur(s.Duration), fmtDur(s.Start), detail)
+	}
+	return tw.Flush()
+}
+
+// fmtDur rounds a duration to a display-friendly precision: microseconds
+// under a millisecond, otherwise 10µs granularity.
+func fmtDur(d time.Duration) string {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// genProblem writes a small synthetic dataset and returns its path.
+func genProblem(t *testing.T) string {
+	t.Helper()
+	csv := filepath.Join(t.TempDir(), "p.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "3",
+		"-centers", "2", "-tasks", "60", "-workers", "8", "-points", "16",
+		"-out", csv}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return csv
+}
+
+// TestTraceJSONLGolden pins the -trace-out line schema: downstream plotting
+// scripts parse these exact keys, so a renamed or dropped field is a break.
+func TestTraceJSONLGolden(t *testing.T) {
+	csv := genProblem(t)
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "FGT", "-eps", "2",
+			"-trace-out", out})
+	}); err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := []string{"algorithm", "avg_payoff", "center", "changes", "iteration", "payoff_diff", "potential"}
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		keys := make([]string, 0, len(rec))
+		for k := range rec {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, want) {
+			t.Fatalf("line %d keys = %v, want %v", lines, keys, want)
+		}
+		if rec["algorithm"] != "FGT" {
+			t.Fatalf("line %d algorithm = %v", lines, rec["algorithm"])
+		}
+		if _, ok := rec["iteration"].(float64); !ok {
+			t.Fatalf("line %d iteration not numeric: %T", lines, rec["iteration"])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("FGT trace produced no iterations")
+	}
+}
+
+// TestAssignSpanOutAndTrace drives the span pipeline end to end: assign
+// writes a Chrome trace_event file, and the trace subcommand reads it back
+// into a per-phase breakdown.
+func TestAssignSpanOutAndTrace(t *testing.T) {
+	csv := genProblem(t)
+	spans := filepath.Join(t.TempDir(), "spans.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "FGT", "-eps", "2",
+			"-span-out", spans})
+	}); err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+
+	// The file must be valid Chrome trace_event JSON with complete events.
+	raw, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("span file is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"fta assign", "assign", "center.solve", "vdps.generate", "state.build", "round"} {
+		if !names[want] {
+			t.Errorf("span file missing %q event (got %v)", want, names)
+		}
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"trace", "-in", spans, "-top", "2"})
+	})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	for _, want := range []string{"phase", "center.solve", "vdps.generate", "p99", "slowest center.solve spans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceBadInput(t *testing.T) {
+	if err := run([]string{"trace"}); err == nil {
+		t.Error("trace without -in accepted")
+	}
+	if err := run([]string{"trace", "-in", "/nonexistent/spans.json"}); err == nil {
+		t.Error("trace with missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "-in", bad}); err == nil {
+		t.Error("trace with invalid JSON accepted")
+	}
+}

@@ -167,6 +167,19 @@ type (
 	// RetryError wraps the final error of an exhausted retry loop with the
 	// number of attempts made. Extract it with errors.As.
 	RetryError = fault.RetryError
+	// Tracer records the hierarchical phase spans of one traced operation;
+	// collect the finished tree with Tracer.Collect and export it with
+	// WriteChromeTrace. See docs/OBSERVABILITY.md.
+	Tracer = obs.Tracer
+	// SpanTrace is one collected tree of spans (named to avoid clashing
+	// with Options.Trace, the per-iteration convergence trace).
+	SpanTrace = obs.Trace
+	// Span is one timed phase of a traced operation. A nil *Span is a
+	// no-op, so instrumented call sites cost a single pointer check when
+	// tracing is disabled.
+	Span = obs.Span
+	// SpanRecord is the immutable record of one finished span.
+	SpanRecord = obs.SpanRecord
 )
 
 // Degradation-ladder rung names recorded in Result.Degraded and
@@ -192,6 +205,26 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // pre-registering the engine's fixed-name instruments.
 func NewMetricsRecorder(reg *MetricsRegistry) *MetricsRecorder {
 	return obs.NewMetricsRecorder(reg)
+}
+
+// NewTracer starts recording a new span trace. Derive the root span with
+// Tracer.Root and hand it to the Solve*Context entry points via
+// ContextWithSpan; solver phases (vdps.generate, state.build, round, audit,
+// retry attempts, degradation rungs) nest under it automatically.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ContextWithSpan returns a context carrying sp as the active parent span.
+// Pass it to SolveContext or SolveProblemContext to capture per-phase
+// timings for that call.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return obs.ContextWithSpan(ctx, sp)
+}
+
+// WriteChromeTrace exports collected traces as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing and readable
+// back with the fta trace subcommand.
+func WriteChromeTrace(w io.Writer, traces ...SpanTrace) error {
+	return obs.WriteChromeTrace(w, traces...)
 }
 
 // Online matching policies.

@@ -69,8 +69,11 @@ func (o Options) withDefaults() Options {
 // run stops and ctx.Err() is returned.
 func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, error) {
 	opt = opt.withDefaults()
+	sp := obs.SpanFromContext(ctx)
+	bsp := sp.Child("state.build")
 	s := game.NewState(g)
 	if len(s.Current) == 0 {
+		bsp.End()
 		return nil, game.ErrNoWorkers
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -80,6 +83,7 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	if opt.Trace || opt.Recorder != nil {
 		tracker = game.NewSummaryTracker(s)
 	}
+	bsp.End()
 
 	res := &game.Result{}
 	// Population membership (workers with a non-empty strategy space) is
@@ -92,7 +96,10 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rsp := sp.Child("round")
+		rsp.SetAttrInt("i", iter)
 		if err := fpIEGTRound.Hit(ctx); err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("evo: iegt round %d: %w", iter, err)
 		}
 		ubar := populationAverage(s)
@@ -139,6 +146,7 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 				opt.Recorder.RecordIteration("IEGT", st)
 			}
 		}
+		rsp.End()
 		// The sigma_dot = 0 criterion applies to the evolving population:
 		// workers with empty strategy spaces are not part of the game (their
 		// payoff is pinned at zero), so they must not block the equal-payoff
@@ -150,6 +158,7 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	}
 	res.Assignment = s.Assignment()
 	res.Summary = s.Summary()
+	res.Potential = fairness.Potential(fairness.DefaultParams(), s.Payoffs)
 	return res, nil
 }
 

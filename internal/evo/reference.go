@@ -75,6 +75,7 @@ func ReferenceIEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.R
 	}
 	res.Assignment = s.Assignment()
 	res.Summary = s.Summary()
+	res.Potential = fairness.Potential(fairness.DefaultParams(), s.Payoffs)
 	return res, nil
 }
 

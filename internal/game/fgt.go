@@ -75,6 +75,10 @@ type Result struct {
 	Converged bool
 	// Trace holds per-round statistics when Options.Trace was set.
 	Trace []IterationStat
+	// Potential is the fairness potential Phi of the final payoffs (FGT: at
+	// the run's IAU weights; IEGT: at the default weights, for
+	// comparability). Telemetry observes it per solve.
+	Potential float64
 	// Degraded names the degradation-ladder rung that produced this result
 	// ("sampled", "greedy"); empty for a full-fidelity exact solve. Set by
 	// the platform layer, not by solvers.
@@ -95,8 +99,11 @@ var ErrNoWorkers = errors.New("game: instance has no workers")
 // single atomic load and stays within benchmark noise.
 func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	sp := obs.SpanFromContext(ctx)
+	bsp := sp.Child("state.build")
 	s := NewState(g)
 	if len(s.Current) == 0 {
+		bsp.End()
 		return nil, ErrNoWorkers
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -108,6 +115,7 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	if opt.Trace || opt.Recorder != nil {
 		tracker = NewSummaryTracker(s)
 	}
+	bsp.End()
 
 	res := &Result{}
 	order := make([]int, len(s.Current))
@@ -118,7 +126,10 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rsp := sp.Child("round")
+		rsp.SetAttrInt("i", iter)
 		if err := fpFGTRound.Hit(ctx); err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("game: fgt round %d: %w", iter, err)
 		}
 		if opt.RandomOrder {
@@ -154,6 +165,7 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 				opt.Recorder.RecordIteration("FGT", st)
 			}
 		}
+		rsp.End()
 		if changes == 0 {
 			res.Converged = true
 			break
@@ -161,6 +173,7 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	}
 	res.Assignment = s.Assignment()
 	res.Summary = s.Summary()
+	res.Potential = fairness.Potential(opt.Fairness, s.Payoffs)
 	return res, nil
 }
 

@@ -74,6 +74,7 @@ func ReferenceFGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result,
 	}
 	res.Assignment = s.Assignment()
 	res.Summary = s.Summary()
+	res.Potential = fairness.Potential(opt.Fairness, s.Payoffs)
 	return res, nil
 }
 

@@ -91,6 +91,11 @@ type Config struct {
 	Timeout time.Duration
 	// Metrics receives the subsystem's telemetry. Nil disables it.
 	Metrics *obs.JobsMetrics
+	// Traces receives one span trace per executed job (a "job" root with
+	// "job.queued" and "job.run" phases; solve-path spans nest under
+	// "job.run"). Nil disables job tracing entirely — jobs then run without
+	// an active span and every solve-path span site stays a nil check.
+	Traces *obs.TraceRing
 	// Retry re-executes failed job tasks under this policy — capped
 	// exponential backoff with deterministic seeded jitter. The whole retry
 	// loop runs inside the job's deadline (Timeout), and context
@@ -426,7 +431,25 @@ func (m *Manager) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
 		defer cancel()
 	}
+	// Job tracing: the tracer is anchored at submit time so the queued
+	// phase sits on the timeline; the run span becomes the job context's
+	// active span and the solve path nests under it.
+	var tracer *obs.Tracer
+	var rootSp, runSp *obs.Span
+	if m.cfg.Traces != nil {
+		tracer = obs.NewTracerAt(j.submitted)
+		rootSp = tracer.Root("job")
+		rootSp.SetAttr("id", j.id)
+		tracer.RecordRange(rootSp, "job.queued", j.submitted, j.started)
+		runSp = rootSp.Child("job.run")
+		ctx = obs.ContextWithSpan(ctx, runSp)
+	}
 	result, err := m.execute(ctx, j)
+	if tracer != nil {
+		runSp.End()
+		rootSp.End()
+		m.cfg.Traces.Add(tracer.Collect("job " + j.id))
+	}
 
 	m.mu.Lock()
 	m.running--

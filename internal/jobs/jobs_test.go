@@ -399,3 +399,75 @@ func TestConcurrentSubmitCancelGet(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestJobTracing verifies that a trace ring wired into the manager records
+// one trace per finished job, with the queued phase and the run phase as
+// children of the job root, and that solve spans started inside the task
+// nest under job.run.
+func TestJobTracing(t *testing.T) {
+	ring := obs.NewTraceRing(4)
+	m := New(Config{Workers: 1, QueueDepth: 2, Traces: ring})
+	defer m.Close(context.Background())
+
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) {
+		_, sp := obs.StartSpan(ctx, "work")
+		defer sp.End()
+		return "ok", nil
+	})
+	if _, err := m.Wait(context.Background(), s.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	traces := ring.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if !strings.HasPrefix(tr.Name, "job ") {
+		t.Errorf("trace name = %q, want job <id>", tr.Name)
+	}
+	byName := make(map[string]obs.SpanRecord)
+	for _, rec := range tr.Spans {
+		byName[rec.Name] = rec
+	}
+	root, ok := byName["job"]
+	if !ok {
+		t.Fatalf("missing job root span in %v", tr.Spans)
+	}
+	if got := root.Attr("id"); got != s.ID {
+		t.Errorf("job span id attr = %q, want %q", got, s.ID)
+	}
+	for _, name := range []string{"job.queued", "job.run"} {
+		rec, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %s span in %v", name, tr.Spans)
+		}
+		if rec.Parent != root.ID {
+			t.Errorf("%s parent = %d, want job root %d", name, rec.Parent, root.ID)
+		}
+	}
+	work, ok := byName["work"]
+	if !ok {
+		t.Fatal("task-started span not recorded")
+	}
+	if work.Parent != byName["job.run"].ID {
+		t.Errorf("work parent = %d, want job.run %d", work.Parent, byName["job.run"].ID)
+	}
+}
+
+// TestJobTracingDisabled keeps the nil-ring fast path honest: no Traces
+// config means no tracer is constructed and tasks see no span in their
+// context.
+func TestJobTracingDisabled(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	defer m.Close(context.Background())
+	s := mustSubmit(t, m, func(ctx context.Context) (any, error) {
+		if obs.SpanFromContext(ctx) != nil {
+			t.Error("unexpected active span without a trace ring")
+		}
+		return nil, nil
+	})
+	if _, err := m.Wait(context.Background(), s.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// This file aggregates a collected trace into a per-phase breakdown: for
+// every span name, how often it ran, its total and self time (total minus
+// time covered by child spans), and its duration quantiles. It powers the
+// `fta trace` subcommand and the /debug/traces summary view.
+
+// PhaseStat is the aggregate of all spans sharing one name within a trace.
+type PhaseStat struct {
+	// Name is the phase (span) name.
+	Name string `json:"name"`
+	// Count is how many spans had this name.
+	Count int `json:"count"`
+	// Total is the summed duration of those spans.
+	Total time.Duration `json:"total_ns"`
+	// Self is Total minus the time covered by each span's children; it is
+	// the time actually attributable to this phase's own work.
+	Self time.Duration `json:"self_ns"`
+	// P50 and P99 are duration quantiles over the spans of this phase.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// Max is the longest single span of this phase.
+	Max time.Duration `json:"max_ns"`
+}
+
+// Breakdown aggregates the trace's spans by name, ordered by descending
+// self time. Self time subtracts only direct children (union of their
+// intervals), so concurrent children overlapping each other are not double
+// subtracted.
+func Breakdown(t Trace) []PhaseStat {
+	children := make(map[uint64][][2]int64) // parent ID -> child [start,end) intervals
+	for _, s := range t.Spans {
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent],
+				[2]int64{s.Start.Nanoseconds(), s.End().Nanoseconds()})
+		}
+	}
+	byName := make(map[string]*PhaseStat)
+	durs := make(map[string][]time.Duration)
+	var order []string
+	for _, s := range t.Spans {
+		st := byName[s.Name]
+		if st == nil {
+			st = &PhaseStat{Name: s.Name}
+			byName[s.Name] = st
+			order = append(order, s.Name)
+		}
+		st.Count++
+		st.Total += s.Duration
+		st.Self += s.Duration - coveredWithin(children[s.ID], s.Start.Nanoseconds(), s.End().Nanoseconds())
+		if s.Duration > st.Max {
+			st.Max = s.Duration
+		}
+		durs[s.Name] = append(durs[s.Name], s.Duration)
+	}
+	out := make([]PhaseStat, 0, len(order))
+	for _, name := range order {
+		st := byName[name]
+		d := durs[name]
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		st.P50 = quantileDur(d, 0.50)
+		st.P99 = quantileDur(d, 0.99)
+		out = append(out, *st)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Self > out[j].Self })
+	return out
+}
+
+// coveredWithin returns the total time the union of the given intervals
+// covers inside [lo, hi). Intervals may overlap (concurrent children).
+func coveredWithin(iv [][2]int64, lo, hi int64) time.Duration {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	var covered, curLo, curHi int64
+	started := false
+	flush := func() {
+		if !started {
+			return
+		}
+		a, b := curLo, curHi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			covered += b - a
+		}
+	}
+	for _, in := range iv {
+		if !started || in[0] > curHi {
+			flush()
+			curLo, curHi, started = in[0], in[1], true
+			continue
+		}
+		if in[1] > curHi {
+			curHi = in[1]
+		}
+	}
+	flush()
+	return time.Duration(covered)
+}
+
+// quantileDur returns the q-quantile of sorted durations using the
+// nearest-rank method; empty input yields zero.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TopSpans returns the n longest spans matching name ("" matches all),
+// longest first — used by `fta trace` to list the slowest centers.
+func TopSpans(t Trace, name string, n int) []SpanRecord {
+	var match []SpanRecord
+	for _, s := range t.Spans {
+		if name == "" || s.Name == name {
+			match = append(match, s)
+		}
+	}
+	sort.SliceStable(match, func(i, j int) bool { return match[i].Duration > match[j].Duration })
+	if n > 0 && len(match) > n {
+		match = match[:n]
+	}
+	return match
+}

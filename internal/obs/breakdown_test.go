@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakdownSelfAndTotal(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr := Trace{Spans: []SpanRecord{
+		{ID: 1, Name: "assign", Start: 0, Duration: ms(100)},
+		{ID: 2, Parent: 1, Name: "center.solve", Start: ms(10), Duration: ms(50)},
+		{ID: 3, Parent: 2, Name: "round", Start: ms(15), Duration: ms(10)},
+		{ID: 4, Parent: 2, Name: "round", Start: ms(30), Duration: ms(20)},
+	}}
+	stats := Breakdown(tr)
+	byName := map[string]PhaseStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	assign := byName["assign"]
+	if assign.Count != 1 || assign.Total != ms(100) {
+		t.Fatalf("assign = %+v", assign)
+	}
+	// assign's only child covers [10,60) → self = 100 - 50 = 50ms.
+	if assign.Self != ms(50) {
+		t.Errorf("assign self = %v, want 50ms", assign.Self)
+	}
+	solve := byName["center.solve"]
+	// children cover [15,25) and [30,50) → 30ms covered, self = 20ms.
+	if solve.Self != ms(20) {
+		t.Errorf("center.solve self = %v, want 20ms", solve.Self)
+	}
+	round := byName["round"]
+	if round.Count != 2 || round.Total != ms(30) || round.Self != ms(30) {
+		t.Errorf("round = %+v", round)
+	}
+	if round.Max != ms(20) {
+		t.Errorf("round max = %v, want 20ms", round.Max)
+	}
+	if round.P50 != ms(10) {
+		t.Errorf("round p50 = %v, want 10ms", round.P50)
+	}
+	// Ordered by descending self time: assign(50) > round(30) > solve(20).
+	if stats[0].Name != "assign" || stats[1].Name != "round" || stats[2].Name != "center.solve" {
+		t.Errorf("order = %s, %s, %s", stats[0].Name, stats[1].Name, stats[2].Name)
+	}
+}
+
+func TestBreakdownOverlappingChildrenNotDoubleCounted(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Two concurrent children covering [10,40) and [20,50): union is 40ms,
+	// not 60ms, so parent self must be 100-40=60ms.
+	tr := Trace{Spans: []SpanRecord{
+		{ID: 1, Name: "parent", Start: 0, Duration: ms(100)},
+		{ID: 2, Parent: 1, Name: "child", Start: ms(10), Duration: ms(30)},
+		{ID: 3, Parent: 1, Name: "child", Start: ms(20), Duration: ms(30)},
+	}}
+	stats := Breakdown(tr)
+	for _, s := range stats {
+		if s.Name == "parent" && s.Self != ms(60) {
+			t.Fatalf("parent self = %v, want 60ms (overlap double-counted?)", s.Self)
+		}
+	}
+}
+
+func TestBreakdownChildExceedingParentClamped(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Child extends past the parent's end (e.g. clock skew); coverage is
+	// clamped to the parent's interval so self never goes negative.
+	tr := Trace{Spans: []SpanRecord{
+		{ID: 1, Name: "parent", Start: 0, Duration: ms(10)},
+		{ID: 2, Parent: 1, Name: "child", Start: ms(5), Duration: ms(50)},
+	}}
+	stats := Breakdown(tr)
+	for _, s := range stats {
+		if s.Name == "parent" {
+			if s.Self != ms(5) {
+				t.Fatalf("parent self = %v, want 5ms", s.Self)
+			}
+			if s.Self < 0 {
+				t.Fatal("self time must never be negative")
+			}
+		}
+	}
+}
+
+func TestTopSpans(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr := Trace{Spans: []SpanRecord{
+		{ID: 1, Name: "center.solve", Duration: ms(10), Attrs: []Attr{{Key: "center", Value: "a"}}},
+		{ID: 2, Name: "center.solve", Duration: ms(30), Attrs: []Attr{{Key: "center", Value: "b"}}},
+		{ID: 3, Name: "round", Duration: ms(99)},
+		{ID: 4, Name: "center.solve", Duration: ms(20), Attrs: []Attr{{Key: "center", Value: "c"}}},
+	}}
+	top := TopSpans(tr, "center.solve", 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d spans, want 2", len(top))
+	}
+	if top[0].Attr("center") != "b" || top[1].Attr("center") != "c" {
+		t.Errorf("top centers = %q, %q; want b, c", top[0].Attr("center"), top[1].Attr("center"))
+	}
+	all := TopSpans(tr, "", 0)
+	if len(all) != 4 || all[0].Name != "round" {
+		t.Errorf("TopSpans all = %d spans, first %q", len(all), all[0].Name)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	if got := Breakdown(Trace{}); len(got) != 0 {
+		t.Fatalf("breakdown of empty trace = %d phases, want 0", len(got))
+	}
+}

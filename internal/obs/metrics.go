@@ -122,6 +122,13 @@ var DefBuckets = []float64{
 // CountBuckets are coarse buckets for iteration- and size-style histograms.
 var CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
 
+// PayoffBuckets cover payoff-scale quantities (P_dif, average payoff, the
+// fairness potential Phi): log-spaced from small fractional differences up
+// to large aggregate potentials.
+var PayoffBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+}
+
 // metricKind distinguishes the exposition TYPE of a family.
 type metricKind int
 
@@ -144,12 +151,14 @@ func (k metricKind) String() string {
 }
 
 // sample is one labeled child of a metric family; exactly one of c, g, h is
-// non-nil, matching the family kind.
+// non-nil, matching the family kind. For gauges, fn (when non-nil) is
+// evaluated at exposition time instead of reading g.
 type sample struct {
 	labels []Label // sorted by name
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() float64
 }
 
 // family groups all samples sharing a metric name.
@@ -192,6 +201,18 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // name is already registered as a different kind.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	return r.sample(name, help, kindHistogram, bounds, labels).h
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at every
+// exposition — for quantities that live outside the registry (uptime,
+// goroutine count, heap size). fn must be safe for concurrent use. On an
+// already-registered (name, labels) pair the function replaces the previous
+// sampler; it panics if name is registered as a different kind.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.sample(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
 }
 
 // sample finds or creates the (family, labels) child.
@@ -309,7 +330,11 @@ func writeSample(w io.Writer, f *family, s *sample) error {
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.c.Value())
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels), formatFloat(s.g.Value()))
+		v := s.g.Value()
+		if s.fn != nil {
+			v = s.fn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels), formatFloat(v))
 		return err
 	default:
 		var cum int64

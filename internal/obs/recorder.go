@@ -60,6 +60,13 @@ type SolveEvent struct {
 	// Degraded names the degradation-ladder rung that served the solve
 	// ("sampled", "greedy"); empty for a full-fidelity exact solve.
 	Degraded string
+	// Difference and Average are the final P_dif and mean payoff of the
+	// solved center.
+	Difference, Average float64
+	// Potential is the fairness potential Phi of the final payoffs. Only
+	// meaningful for the iterative solvers (Iterations > 0); the
+	// non-iterative baselines leave it zero and it is not observed for them.
+	Potential float64
 }
 
 // AssignEvent summarizes one multi-center platform assignment.
@@ -109,6 +116,7 @@ type MetricsRecorder struct {
 	assignSeconds     *Histogram
 	assignCenters     *Counter
 	assignParallelism *Gauge
+	assignWorkers     *Counter
 }
 
 // NewMetricsRecorder builds a MetricsRecorder over the registry,
@@ -134,6 +142,8 @@ func NewMetricsRecorder(reg *Registry) *MetricsRecorder {
 			"Distribution centers solved by multi-center assignments."),
 		assignParallelism: reg.Gauge("fta_assign_parallelism",
 			"Concurrent per-center solves used by the latest assignment."),
+		assignWorkers: reg.Counter("fta_assign_workers_total",
+			"Workers covered by multi-center assignments."),
 	}
 }
 
@@ -148,32 +158,68 @@ func (m *MetricsRecorder) RecordVDPS(e VDPSEvent) {
 	m.vdpsSeconds.Observe(e.Elapsed.Seconds())
 }
 
-// RecordIteration implements Recorder: it accumulates strategy switches and
-// tracks the latest convergence state per algorithm.
+// RecordIteration implements Recorder: it accumulates strategy switches per
+// algorithm. Per-round payoff gauges were removed here — with centers
+// solving in parallel, interleaved rounds of different centers made a
+// last-write-wins gauge meaningless; the final per-solve values are now
+// observed as histograms by RecordSolve instead.
 func (m *MetricsRecorder) RecordIteration(algorithm string, st IterationStat) {
-	alg := L("algorithm", algorithm)
 	m.reg.Counter("fta_solve_strategy_changes_total",
-		"Worker strategy switches across all solver rounds.", alg).Add(int64(st.Changes))
-	m.reg.Gauge("fta_solve_payoff_difference",
-		"P_dif after the most recent solver round.", alg).Set(st.PayoffDiff)
-	m.reg.Gauge("fta_solve_average_payoff",
-		"Mean worker payoff after the most recent solver round.", alg).Set(st.AvgPayoff)
-	m.reg.Gauge("fta_solve_potential",
-		"Potential function Phi after the most recent solver round (FGT).", alg).Set(st.Potential)
+		"Worker strategy switches across all solver rounds.",
+		L("algorithm", algorithm)).Add(int64(st.Changes))
 }
+
+// Help strings of the per-solve payoff histograms, shared between
+// RecordSolve and SeedAlgorithms so pre-registered and on-demand families
+// are identical.
+const (
+	helpPayoffDifference = "Final P_dif per completed single-center solve."
+	helpAveragePayoff    = "Final mean worker payoff per completed single-center solve."
+	helpPotential        = "Final fairness potential Phi per completed iterative solve."
+	helpStrategyChanges  = "Worker strategy switches across all solver rounds."
+	helpSolveTotal       = "Completed single-center solves."
+)
 
 // RecordSolve implements Recorder.
 func (m *MetricsRecorder) RecordSolve(e SolveEvent) {
+	alg := L("algorithm", e.Algorithm)
 	m.solveIterations.Observe(float64(e.Iterations))
 	m.solveSeconds.Observe(e.Elapsed.Seconds())
-	m.reg.Counter("fta_solve_total", "Completed single-center solves.",
-		L("algorithm", e.Algorithm), L("converged", strconv.FormatBool(e.Converged))).Inc()
+	m.reg.Histogram("fta_solve_payoff_difference",
+		helpPayoffDifference, PayoffBuckets, alg).Observe(e.Difference)
+	m.reg.Histogram("fta_solve_average_payoff",
+		helpAveragePayoff, PayoffBuckets, alg).Observe(e.Average)
+	if e.Iterations > 0 {
+		// Phi only exists for the game-theoretic solvers; observing the
+		// baselines' zero value would just distort the distribution.
+		m.reg.Histogram("fta_solve_potential",
+			helpPotential, PayoffBuckets, alg).Observe(e.Potential)
+	}
+	m.reg.Counter("fta_solve_total", helpSolveTotal,
+		alg, L("converged", strconv.FormatBool(e.Converged))).Inc()
 	if e.Degraded != "" {
 		// Shares the fta_degrade_total family with NewFaultMetrics via the
 		// registry's first-registration semantics; counted here — and only
 		// here — so a degraded solve is never double-counted.
 		m.reg.Counter("fta_degrade_total",
 			"Solves served by a degradation-ladder rung.", L("rung", e.Degraded)).Inc()
+	}
+}
+
+// SeedAlgorithms pre-registers the algorithm-labeled solve families for the
+// given algorithm names so the first scrape lists them with zero values,
+// like the label-free families NewMetricsRecorder registers. Call it at
+// server startup with the algorithms the service can run.
+func (m *MetricsRecorder) SeedAlgorithms(algorithms ...string) {
+	for _, a := range algorithms {
+		alg := L("algorithm", a)
+		m.reg.Histogram("fta_solve_payoff_difference", helpPayoffDifference, PayoffBuckets, alg)
+		m.reg.Histogram("fta_solve_average_payoff", helpAveragePayoff, PayoffBuckets, alg)
+		m.reg.Histogram("fta_solve_potential", helpPotential, PayoffBuckets, alg)
+		m.reg.Counter("fta_solve_strategy_changes_total", helpStrategyChanges, alg)
+		m.reg.Counter("fta_solve_total", helpSolveTotal, alg, L("converged", "true"))
+		m.reg.Counter("fta_solve_total", helpSolveTotal, alg, L("converged", "false"))
+		m.reg.Counter("fta_assign_total", "Completed multi-center assignments.", alg)
 	}
 }
 
@@ -184,6 +230,5 @@ func (m *MetricsRecorder) RecordAssign(e AssignEvent) {
 	m.assignParallelism.Set(float64(e.Parallelism))
 	m.reg.Counter("fta_assign_total", "Completed multi-center assignments.",
 		L("algorithm", e.Algorithm)).Inc()
-	m.reg.Counter("fta_assign_workers_total",
-		"Workers covered by multi-center assignments.").Add(int64(e.Workers))
+	m.assignWorkers.Add(int64(e.Workers))
 }

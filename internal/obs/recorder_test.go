@@ -36,11 +36,63 @@ func TestMetricsRecorderIteration(t *testing.T) {
 	if got := reg.Counter("fta_solve_strategy_changes_total", "", alg).Value(); got != 5 {
 		t.Errorf("strategy changes = %d, want 5", got)
 	}
-	if got := reg.Gauge("fta_solve_payoff_difference", "", alg).Value(); got != 1.25 {
-		t.Errorf("payoff difference = %v, want last-round 1.25", got)
+}
+
+// TestMetricsRecorderSolvePayoffHistograms covers the per-solve payoff
+// distributions that replaced the old last-write-wins gauges: concurrent
+// per-center solves each contribute one observation instead of clobbering a
+// single value.
+func TestMetricsRecorderSolvePayoffHistograms(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewMetricsRecorder(reg)
+	rec.RecordSolve(SolveEvent{Algorithm: "FGT", Iterations: 5, Difference: 1.25, Average: 7.5, Potential: 11})
+	rec.RecordSolve(SolveEvent{Algorithm: "FGT", Iterations: 3, Difference: 2.5, Average: 7, Potential: 9})
+	rec.RecordSolve(SolveEvent{Algorithm: "GTA", Iterations: 0, Difference: 4, Average: 6})
+
+	alg := L("algorithm", "FGT")
+	diff := reg.Histogram("fta_solve_payoff_difference", "", PayoffBuckets, alg)
+	if diff.Count() != 2 || diff.Sum() != 3.75 {
+		t.Errorf("payoff difference: count %d sum %v, want 2/3.75", diff.Count(), diff.Sum())
 	}
-	if got := reg.Gauge("fta_solve_potential", "", alg).Value(); got != 11 {
-		t.Errorf("potential = %v, want 11", got)
+	avg := reg.Histogram("fta_solve_average_payoff", "", PayoffBuckets, alg)
+	if avg.Count() != 2 || avg.Sum() != 14.5 {
+		t.Errorf("average payoff: count %d sum %v, want 2/14.5", avg.Count(), avg.Sum())
+	}
+	pot := reg.Histogram("fta_solve_potential", "", PayoffBuckets, alg)
+	if pot.Count() != 2 || pot.Sum() != 20 {
+		t.Errorf("potential: count %d sum %v, want 2/20", pot.Count(), pot.Sum())
+	}
+	// Non-iterative baselines have no potential; their zero must not be
+	// observed.
+	gta := reg.Histogram("fta_solve_potential", "", PayoffBuckets, L("algorithm", "GTA"))
+	if gta.Count() != 0 {
+		t.Errorf("GTA potential observations = %d, want 0", gta.Count())
+	}
+}
+
+// TestSeedAlgorithms verifies that seeding makes algorithm-labeled families
+// visible on the first exposition, before any solve ran.
+func TestSeedAlgorithms(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewMetricsRecorder(reg)
+	rec.SeedAlgorithms("FGT", "IEGT")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`fta_solve_payoff_difference_count{algorithm="FGT"} 0`,
+		`fta_solve_average_payoff_count{algorithm="IEGT"} 0`,
+		`fta_solve_potential_count{algorithm="FGT"} 0`,
+		`fta_solve_strategy_changes_total{algorithm="IEGT"} 0`,
+		`fta_solve_total{algorithm="FGT",converged="true"} 0`,
+		`fta_solve_total{algorithm="FGT",converged="false"} 0`,
+		`fta_assign_total{algorithm="IEGT"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seeded exposition missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The acceptance bar for the tracing layer: a span site on a path without
+// a tracer must cost roughly one nil check (single-digit ns, 0 allocs).
+// These benchmarks measure both the disabled and enabled paths and are
+// exported to CI as BENCH_trace.json.
+
+// BenchmarkSpanSiteDisabled measures the instrumented-site cost when
+// tracing is off: Child/SetAttr/End on a nil span.
+func BenchmarkSpanSiteDisabled(b *testing.B) {
+	var parent *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := parent.Child("round")
+		sp.SetAttrInt("i", i)
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpanDisabled measures StartSpan on a context without an
+// active span: one context.Value lookup, no allocation.
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "phase")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanFromContextDisabled measures the once-per-function span
+// fetch hot loops use before switching to raw Child calls.
+func BenchmarkSpanFromContextDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := SpanFromContext(ctx); sp != nil {
+			b.Fatal("unexpected span")
+		}
+	}
+}
+
+// BenchmarkSpanSiteEnabled measures the same site with tracing on: one
+// node allocation and a CAS publish per span.
+func BenchmarkSpanSiteEnabled(b *testing.B) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("round")
+		sp.End()
+		if i&0xFFFF == 0xFFFF {
+			b.StopTimer()
+			tr.Collect("drain") // keep memory bounded across b.N
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSpanSiteEnabledParallel measures contention behaviour: many
+// goroutines ending spans against the sharded lock-free buffer.
+func BenchmarkSpanSiteEnabledParallel(b *testing.B) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := root.Child("round")
+			sp.End()
+		}
+	})
+	b.StopTimer()
+	tr.Collect("drain")
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeCollect(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("assign")
+	root.SetAttrInt("centers", 2)
+	c1 := root.Child("center.solve")
+	c1.SetAttr("center", "w1")
+	r1 := c1.Child("round")
+	r1.End()
+	c1.End()
+	root.End()
+
+	got := tr.Collect("test")
+	if got.Name != "test" {
+		t.Fatalf("trace name = %q, want test", got.Name)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(got.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	rootRec, ok := byName["assign"]
+	if !ok || rootRec.Parent != 0 {
+		t.Fatalf("root span missing or has parent: %+v", rootRec)
+	}
+	if rootRec.Attr("centers") != "2" {
+		t.Errorf("root attr centers = %q, want 2", rootRec.Attr("centers"))
+	}
+	solve := byName["center.solve"]
+	if solve.Parent != rootRec.ID {
+		t.Errorf("center.solve parent = %d, want %d", solve.Parent, rootRec.ID)
+	}
+	if solve.Attr("center") != "w1" {
+		t.Errorf("center attr = %q, want w1", solve.Attr("center"))
+	}
+	round := byName["round"]
+	if round.Parent != solve.ID {
+		t.Errorf("round parent = %d, want %d", round.Parent, solve.ID)
+	}
+	for _, s := range got.Spans {
+		if s.Duration < 0 {
+			t.Errorf("span %s has negative duration %v", s.Name, s.Duration)
+		}
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	child := s.Child("x")
+	if child != nil {
+		t.Fatal("nil span Child must return nil")
+	}
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 3)
+	s.End() // must not panic
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil {
+		t.Fatal("StartSpan on bare context must return nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan on bare context must return the context unchanged")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("SpanFromContext on bare context must be nil")
+	}
+}
+
+func TestStartSpanPropagation(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, sp := StartSpan(ctx, "inner")
+	if sp == nil {
+		t.Fatal("StartSpan with active span must return a child")
+	}
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatalf("returned context must carry the child span")
+	}
+	sp.End()
+	root.End()
+	trace := tr.Collect("t")
+	if len(trace.Spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(trace.Spans))
+	}
+}
+
+func TestContextWithSpanNil(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("ContextWithSpan(nil) must return ctx unchanged")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := root.Child("work")
+				sp.SetAttrInt("w", w)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	trace := tr.Collect("t")
+	if want := workers*each + 1; len(trace.Spans) != want {
+		t.Fatalf("collected %d spans, want %d", len(trace.Spans), want)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range trace.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Collect drained everything; a second collect is empty.
+	if again := tr.Collect("t"); len(again.Spans) != 0 {
+		t.Fatalf("second Collect returned %d spans, want 0", len(again.Spans))
+	}
+}
+
+func TestCollectSortedByStart(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	for i := 0; i < 50; i++ {
+		sp := root.Child(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	root.End()
+	trace := tr.Collect("t")
+	for i := 1; i < len(trace.Spans); i++ {
+		a, b := trace.Spans[i-1], trace.Spans[i]
+		if a.Start > b.Start || (a.Start == b.Start && a.ID > b.ID) {
+			t.Fatalf("spans not sorted at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+func TestRecordRange(t *testing.T) {
+	base := time.Now()
+	tr := NewTracerAt(base)
+	root := tr.Root("job")
+	tr.RecordRange(root, "job.queued", base.Add(-time.Second), base.Add(10*time.Millisecond))
+	tr.RecordRange(nil, "orphan", base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	root.End()
+	trace := tr.Collect("t")
+	var queued, orphan *SpanRecord
+	for i := range trace.Spans {
+		switch trace.Spans[i].Name {
+		case "job.queued":
+			queued = &trace.Spans[i]
+		case "orphan":
+			orphan = &trace.Spans[i]
+		}
+	}
+	if queued == nil || orphan == nil {
+		t.Fatalf("missing recorded ranges in %+v", trace.Spans)
+	}
+	if queued.Start != 0 {
+		t.Errorf("pre-tracer start must clamp to 0, got %v", queued.Start)
+	}
+	if queued.Duration <= 0 {
+		t.Errorf("queued duration = %v, want > 0", queued.Duration)
+	}
+	if orphan.Parent != 0 {
+		t.Errorf("nil-parent range must be a root, got parent %d", orphan.Parent)
+	}
+	if orphan.Start != time.Millisecond || orphan.Duration != time.Millisecond {
+		t.Errorf("orphan range = start %v dur %v, want 1ms/1ms", orphan.Start, orphan.Duration)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Trace{Name: fmt.Sprintf("t%d", i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(snap))
+	}
+	want := []string{"t4", "t3", "t2"}
+	for i, tr := range snap {
+		if tr.Name != want[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, tr.Name, want[i])
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestTraceRingDefaultCapacity(t *testing.T) {
+	r := NewTraceRing(0)
+	for i := 0; i < 40; i++ {
+		r.Add(Trace{Name: fmt.Sprintf("t%d", i)})
+	}
+	if got := len(r.Snapshot()); got != 32 {
+		t.Fatalf("default ring holds %d, want 32", got)
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	tr := Trace{Spans: []SpanRecord{
+		{Start: 0, Duration: 5 * time.Millisecond},
+		{Start: 2 * time.Millisecond, Duration: 10 * time.Millisecond},
+	}}
+	if got := tr.Duration(); got != 12*time.Millisecond {
+		t.Fatalf("Duration = %v, want 12ms", got)
+	}
+	if (Trace{}).Duration() != 0 {
+		t.Fatal("empty trace duration must be 0")
+	}
+}

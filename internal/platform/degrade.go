@@ -12,6 +12,7 @@ import (
 	"fairtask/internal/game"
 	"fairtask/internal/model"
 	"fairtask/internal/obs"
+	"fairtask/internal/payoff"
 	"fairtask/internal/vdps"
 )
 
@@ -158,19 +159,31 @@ func SolveInstance(ctx context.Context, in *model.Instance, solver assign.Assign
 // failpoint, telemetry, and the rung's audit. Degraded rungs are audited
 // unconditionally and an audit violation fails the rung.
 func solveRung(ctx context.Context, in *model.Instance, rg rung, opt Options) (*game.Result, *audit.Report, error) {
-	rctx := ctx
+	rungLabel := rg.name
+	if rungLabel == "" {
+		rungLabel = "exact"
+	}
+	rsp := obs.SpanFromContext(ctx).Child("rung." + rungLabel)
+	defer rsp.End()
+	rctx := obs.ContextWithSpan(ctx, rsp)
 	if rg.budget > 0 {
 		var cancel context.CancelFunc
-		rctx, cancel = context.WithTimeout(ctx, rg.budget)
+		rctx, cancel = context.WithTimeout(rctx, rg.budget)
 		defer cancel()
 	}
 
 	var (
-		res *game.Result
-		g   *vdps.Generator
+		res      *game.Result
+		g        *vdps.Generator
+		attempts int
 	)
 	start := time.Now()
 	attempt := func(actx context.Context) error {
+		attempts++
+		asp := rsp.Child("attempt")
+		asp.SetAttrInt("n", attempts)
+		defer asp.End()
+		actx = obs.ContextWithSpan(actx, asp)
 		if err := fpSolve.Hit(actx); err != nil {
 			return fmt.Errorf("platform: solve: %w", err)
 		}
@@ -203,10 +216,15 @@ func solveRung(ctx context.Context, in *model.Instance, rg rung, opt Options) (*
 			Converged:  res.Converged,
 			Elapsed:    time.Since(start),
 			Degraded:   rg.name,
+			Difference: payoff.Difference(res.Summary.Payoffs),
+			Average:    payoff.Average(res.Summary.Payoffs),
+			Potential:  res.Potential,
 		})
 	}
 
+	ausp := rsp.Child("audit")
 	rep, err := auditRung(in, rg, res, g, opt)
+	ausp.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -119,6 +119,10 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	ctx, asp := obs.StartSpan(ctx, "assign")
+	asp.SetAttrInt("centers", len(p.Instances))
+	asp.SetAttr("algorithm", solver.Name())
+	defer asp.End()
 	start := time.Now()
 	res := &Result{PerCenter: make([]*game.Result, len(p.Instances))}
 	if opt.Audit != nil {
@@ -152,7 +156,10 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, rep, err := SolveInstance(ctx, &p.Instances[i], solver, opt)
+			csp := asp.Child("center.solve")
+			csp.SetAttrInt("center", p.Instances[i].CenterID)
+			defer csp.End()
+			r, rep, err := SolveInstance(obs.ContextWithSpan(ctx, csp), &p.Instances[i], solver, opt)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -74,13 +74,23 @@ type Handler struct {
 	// solves; the serving rung is reported in SolveResponse.Degraded and
 	// counted in fta_degrade_total{rung}. Nil means exact-only.
 	Degrade *platform.Degrade
+	// Traces is the ring of recent solve traces served at GET /debug/traces.
+	// Synchronous /solve requests trace into it directly; wire the same ring
+	// into jobs.Config.Traces to capture async jobs too. Nil disables
+	// request tracing (span sites then cost one nil check).
+	Traces *obs.TraceRing
 }
 
 // New builds the handler around a solver factory with a fresh metrics
 // registry. The HTTP metric families are pre-registered so the first
 // /metrics scrape already lists them.
 func New(factory Factory) *Handler {
-	h := &Handler{factory: factory, mux: http.NewServeMux(), Registry: obs.NewRegistry()}
+	h := &Handler{
+		factory:  factory,
+		mux:      http.NewServeMux(),
+		Registry: obs.NewRegistry(),
+		Traces:   obs.NewTraceRing(0),
+	}
 	h.mux.HandleFunc("/healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.HandleFunc("/solve", h.solve)
@@ -88,16 +98,18 @@ func New(factory Factory) *Handler {
 	h.mux.HandleFunc("POST /jobs", h.jobSubmit)
 	h.mux.HandleFunc("GET /jobs/{id}", h.jobGet)
 	h.mux.HandleFunc("DELETE /jobs/{id}", h.jobCancel)
+	h.mux.HandleFunc("GET /debug/traces", h.debugTraces)
 	seedHTTPMetrics(h.Registry)
 	obs.NewAuditMetrics(h.Registry)
 	obs.NewFaultMetrics(h.Registry)
+	obs.NewRuntimeMetrics(h.Registry)
 	return h
 }
 
 // routes are the fixed paths used as low-cardinality route labels; anything
 // else is folded into "other". Per-job paths share the "/jobs/:id" label so
 // job IDs never become label values.
-var routes = []string{"/solve", "/healthz", "/readyz", "/metrics", "/jobs", "/jobs/:id"}
+var routes = []string{"/solve", "/healthz", "/readyz", "/metrics", "/jobs", "/jobs/:id", "/debug/traces"}
 
 // routeLabel maps a request path to its metric label.
 func routeLabel(r *http.Request) string {
@@ -428,7 +440,21 @@ func (h *Handler) solve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, h.SolveTimeout)
 		defer cancel()
 	}
+	// Request tracing: one tracer per synchronous solve, collected into the
+	// /debug/traces ring whether the solve succeeds or fails.
+	var tracer *obs.Tracer
+	var rootSp *obs.Span
+	if h.Traces != nil {
+		tracer = obs.NewTracer()
+		rootSp = tracer.Root("POST /solve")
+		rootSp.SetAttr("algorithm", req.solver.Name())
+		ctx = obs.ContextWithSpan(ctx, rootSp)
+	}
 	resp, err := h.runSolve(ctx, req)
+	if tracer != nil {
+		rootSp.End()
+		h.Traces.Add(tracer.Collect("POST /solve"))
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			errorJSON(w, http.StatusServiceUnavailable,

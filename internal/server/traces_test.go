@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugTracesAfterSolve(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+	body := problemCSV(t)
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/solve?alg=GTA&eps=2", "text/csv",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status = %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/traces?spans=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces status = %d", resp.StatusCode)
+	}
+	var out TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 3 {
+		t.Errorf("total = %d, want 3", out.Total)
+	}
+	if len(out.Traces) != 3 {
+		t.Fatalf("retained = %d, want 3", len(out.Traces))
+	}
+	tr := out.Traces[0]
+	if tr.Name != "POST /solve" {
+		t.Errorf("trace name = %q", tr.Name)
+	}
+	if tr.SpanCount == 0 || len(tr.Spans) != tr.SpanCount {
+		t.Errorf("span count %d vs %d raw spans", tr.SpanCount, len(tr.Spans))
+	}
+	phases := make(map[string]bool)
+	for _, ph := range tr.Phases {
+		phases[ph.Name] = true
+		if ph.SelfMS < 0 || ph.TotalMS < ph.SelfMS {
+			t.Errorf("phase %s: self %v total %v", ph.Name, ph.SelfMS, ph.TotalMS)
+		}
+	}
+	for _, want := range []string{"POST /solve", "assign", "center.solve"} {
+		if !phases[want] {
+			t.Errorf("breakdown missing phase %q (got %v)", want, tr.Phases)
+		}
+	}
+
+	// ?n= limits the retained listing without affecting the total.
+	resp2, err := http.Get(srv.URL + "/debug/traces?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var limited TracesResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&limited); err != nil {
+		t.Fatal(err)
+	}
+	if limited.Total != 3 || len(limited.Traces) != 1 {
+		t.Errorf("n=1: total %d retained %d, want 3/1", limited.Total, len(limited.Traces))
+	}
+	if len(limited.Traces[0].Spans) != 0 {
+		t.Error("spans included without ?spans=1")
+	}
+}
+
+func TestDebugTracesDisabled(t *testing.T) {
+	h := New(testFactory)
+	h.Traces = nil
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled tracing status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -57,6 +57,8 @@ func GenerateSampledContext(ctx context.Context, in *model.Instance, opt SampleO
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "vdps.sample")
+	defer sp.End()
 	if err := fpSample.Hit(ctx); err != nil {
 		return nil, fmt.Errorf("vdps: sample: %w", err)
 	}

@@ -197,6 +197,8 @@ func GenerateContext(ctx context.Context, in *model.Instance, opt Options) (*Gen
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("vdps: %w", err)
 	}
+	_, sp := obs.StartSpan(ctx, "vdps.generate")
+	defer sp.End()
 	if err := fpGenerate.Hit(ctx); err != nil {
 		return nil, fmt.Errorf("vdps: generate: %w", err)
 	}
