@@ -70,6 +70,8 @@ func run(args []string) error {
 		return cmdAudit(args[1:])
 	case "online":
 		return cmdOnline(args[1:])
+	case "stream":
+		return cmdStream(args[1:])
 	case "render":
 		return cmdRender(args[1:])
 	case "trace":
@@ -96,6 +98,7 @@ subcommands:
   report  solve a dataset and print a full fairness report
   audit   re-verify a saved route CSV against its dataset
   online  replay a random task stream through the online matcher
+  stream  drive the incremental equilibrium engine with a delta stream
   render  draw one center's assignment as an SVG map
   trace   analyze a span file written by assign -span-out
   serve   run the assignment engine as an HTTP service

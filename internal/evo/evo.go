@@ -69,9 +69,26 @@ func (o Options) withDefaults() Options {
 // run stops and ctx.Err() is returned.
 func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, error) {
 	opt = opt.withDefaults()
-	sp := obs.SpanFromContext(ctx)
-	bsp := sp.Child("state.build")
+	bsp := obs.SpanFromContext(ctx).Child("state.build")
 	s := game.NewState(g)
+	return iegtRun(ctx, s, opt, bsp)
+}
+
+// IEGTFromState runs Algorithm 3 on a prebuilt, unplayed state (fresh from
+// game.NewState or game.NewStateWithStrategies). The result is bit-identical
+// to IEGT on the generator the state was built from; the streaming engine
+// uses it to re-run the evolutionary dynamics over incrementally repaired
+// strategy spaces.
+func IEGTFromState(ctx context.Context, s *game.State, opt Options) (*game.Result, error) {
+	opt = opt.withDefaults()
+	bsp := obs.SpanFromContext(ctx).Child("state.build")
+	return iegtRun(ctx, s, opt, bsp)
+}
+
+// iegtRun is the shared core of IEGT and IEGTFromState. bsp is the caller's
+// open state-build span, ended once initialization completes.
+func iegtRun(ctx context.Context, s *game.State, opt Options, bsp *obs.Span) (*game.Result, error) {
+	sp := obs.SpanFromContext(ctx)
 	if len(s.Current) == 0 {
 		bsp.End()
 		return nil, game.ErrNoWorkers
@@ -92,6 +109,16 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	// same workers in the same order as the populationPayoffs slice the
 	// reference builds — the accumulated values are bit-identical.
 	var cand []int // scratch for random strategy selection
+	// Dirty-set gating for the selection sweep, mirroring the FGT loop:
+	// version counts switches, cleanAt[w] = version+1 records that w's last
+	// evaluation at that version found no strictly better available strategy
+	// and consumed no randomness — with the payoff multiset (hence ubar) and
+	// the owner table unchanged since, re-scanning would provably come up
+	// empty again, so the O(strategies) scan is skipped. The gate never
+	// engages with mutation enabled: a below-average worker then draws from
+	// rng on every evaluation, and skipping would shift the random stream.
+	version := 0
+	cleanAt := make([]int, len(s.Current))
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -111,6 +138,9 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 			if s.Payoffs[w] >= ubar {
 				continue
 			}
+			if cleanAt[w] == version+1 {
+				continue
+			}
 			si, ok := -1, false
 			if opt.MutationRate > 0 && rng.Float64() < opt.MutationRate {
 				si, ok = randomAvailableStrategy(s, w, rng, &cand)
@@ -124,6 +154,9 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 					tracker.Update(w)
 				}
 				changes++
+				version++
+			} else if opt.MutationRate == 0 {
+				cleanAt[w] = version + 1
 			}
 		}
 		res.Iterations = iter

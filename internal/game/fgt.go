@@ -102,6 +102,27 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	sp := obs.SpanFromContext(ctx)
 	bsp := sp.Child("state.build")
 	s := NewState(g)
+	return fgtRun(ctx, s, opt, bsp)
+}
+
+// FGTFromState runs Algorithm 2 on a prebuilt, unplayed state (fresh from
+// NewState or NewStateWithStrategies: no strategies chosen, no points owned).
+// The result is bit-identical to FGT on the generator the state was built
+// from — the streaming engine relies on this to warm-start re-solves from
+// incrementally repaired strategy spaces while staying pinned to the cold
+// reference solve.
+func FGTFromState(ctx context.Context, s *State, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	bsp := obs.SpanFromContext(ctx).Child("state.build")
+	return fgtRun(ctx, s, opt, bsp)
+}
+
+// fgtRun is the shared core of FGT and FGTFromState: random singleton
+// initialization, then sequential best-response rounds to a pure Nash
+// equilibrium. bsp is the caller's open state-build span, ended once the
+// index and tracker are up.
+func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span) (*Result, error) {
+	sp := obs.SpanFromContext(ctx)
 	if len(s.Current) == 0 {
 		bsp.End()
 		return nil, ErrNoWorkers
@@ -122,6 +143,20 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	for i := range order {
 		order[i] = i
 	}
+	// Dirty-set gating for the best-response sweep. version counts switches;
+	// cleanAt[w] = version+1 records that w was evaluated at that version and
+	// declined to switch (zero = never evaluated). A worker's best response
+	// reads only its own strategy space, the owner table and the payoff
+	// multiset — all of which change exclusively through switches — so while
+	// version is unchanged a re-evaluation provably returns "no switch" again
+	// and is skipped. Skipped evaluations alter no state (and consume no
+	// randomness), so the round trajectory — and therefore the equilibrium,
+	// iteration count and traces — stays bit-identical to the ungated
+	// reference sweep; only the final quiescent sweeps get cheaper. After a
+	// switch the switcher itself is clean too: it just chose its best
+	// response at the new version.
+	version := 0
+	cleanAt := make([]int, len(s.Current))
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -137,6 +172,9 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 		}
 		changes := 0
 		for _, w := range order {
+			if cleanAt[w] == version+1 {
+				continue
+			}
 			if best, ok := bestResponse(s, idx, w, opt); ok && best != s.Current[w] {
 				s.Switch(w, best)
 				idx.Update(w, s.Payoffs[w])
@@ -144,7 +182,9 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 					tracker.Update(w)
 				}
 				changes++
+				version++
 			}
+			cleanAt[w] = version + 1
 		}
 		res.Iterations = iter
 		if tracker != nil {

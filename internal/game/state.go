@@ -84,6 +84,37 @@ func NewState(g *vdps.Generator) *State {
 	return s
 }
 
+// NewStateWithStrategies builds a game state over prebuilt per-worker
+// strategy spaces instead of deriving them from the generator. strategies
+// must have one entry per instance worker, each holding exactly what
+// Generator.WorkerStrategies would return for that worker against g — the
+// streaming engine caches those lists across deltas and rebuilds only the
+// workers whose feasible VDPS sets changed, so state construction becomes a
+// slice-header copy instead of an O(W*C) scan. The strategy slices are
+// shared, not copied; the game dynamics never mutate them. It panics on a
+// worker-count mismatch, which is always a caller bug.
+func NewStateWithStrategies(g *vdps.Generator, strategies [][]vdps.StrategyRef) *State {
+	in := g.Instance()
+	if len(strategies) != len(in.Workers) {
+		panic("game: NewStateWithStrategies: strategy spaces do not match worker count")
+	}
+	n := len(in.Workers)
+	s := &State{
+		gen:        g,
+		Strategies: strategies,
+		Current:    make([]int, n),
+		Payoffs:    make([]float64, n),
+		owner:      make([]int, len(in.Points)),
+	}
+	for w := 0; w < n; w++ {
+		s.Current[w] = Null
+	}
+	for p := range s.owner {
+		s.owner[p] = -1
+	}
+	return s
+}
+
 // fillStrategies builds the strategy lists of workers [lo, hi), reusing one
 // key scratch so each worker's list is allocated exactly once at its final
 // size and only 16-byte sort keys move through the sort.

@@ -191,6 +191,23 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the instance: points (with their task
+// slices) and workers are copied, so mutating the clone never aliases the
+// original. The travel model is a value and is copied with the struct.
+// Long-lived consumers that mutate instances over time — the streaming
+// equilibrium engine — clone at the ownership boundary so callers keep an
+// immutable view.
+func (in *Instance) Clone() *Instance {
+	out := *in
+	out.Points = make([]DeliveryPoint, len(in.Points))
+	for i := range in.Points {
+		out.Points[i] = in.Points[i]
+		out.Points[i].Tasks = append([]Task(nil), in.Points[i].Tasks...)
+	}
+	out.Workers = append([]Worker(nil), in.Workers...)
+	return &out
+}
+
 // TaskCount returns the total number of tasks across all delivery points.
 func (in *Instance) TaskCount() int {
 	var n int

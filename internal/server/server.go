@@ -14,6 +14,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"fairtask/internal/assign"
@@ -25,6 +26,7 @@ import (
 	"fairtask/internal/obs"
 	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
+	"fairtask/internal/stream"
 	"fairtask/internal/vdps"
 )
 
@@ -79,6 +81,11 @@ type Handler struct {
 	// into jobs.Config.Traces to capture async jobs too. Nil disables
 	// request tracing (span sites then cost one nil check).
 	Traces *obs.TraceRing
+
+	// streamMu serializes the streaming engine behind /stream/*; the engine
+	// itself is single-writer by design.
+	streamMu sync.Mutex
+	stream   *stream.Engine
 }
 
 // New builds the handler around a solver factory with a fresh metrics
@@ -99,17 +106,23 @@ func New(factory Factory) *Handler {
 	h.mux.HandleFunc("GET /jobs/{id}", h.jobGet)
 	h.mux.HandleFunc("DELETE /jobs/{id}", h.jobCancel)
 	h.mux.HandleFunc("GET /debug/traces", h.debugTraces)
+	h.mux.HandleFunc("POST /stream/instance", h.streamInstance)
+	h.mux.HandleFunc("POST /stream/events", h.streamEvents)
+	h.mux.HandleFunc("GET /stream/state", h.streamState)
 	seedHTTPMetrics(h.Registry)
 	obs.NewAuditMetrics(h.Registry)
 	obs.NewFaultMetrics(h.Registry)
 	obs.NewRuntimeMetrics(h.Registry)
+	obs.NewStreamMetrics(h.Registry)
+	obs.NewOnlineMetrics(h.Registry)
 	return h
 }
 
 // routes are the fixed paths used as low-cardinality route labels; anything
 // else is folded into "other". Per-job paths share the "/jobs/:id" label so
 // job IDs never become label values.
-var routes = []string{"/solve", "/healthz", "/readyz", "/metrics", "/jobs", "/jobs/:id", "/debug/traces"}
+var routes = []string{"/solve", "/healthz", "/readyz", "/metrics", "/jobs", "/jobs/:id", "/debug/traces",
+	"/stream/instance", "/stream/events", "/stream/state"}
 
 // routeLabel maps a request path to its metric label.
 func routeLabel(r *http.Request) string {

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"fairtask/internal/game"
+	"fairtask/internal/vdps"
+)
+
+// benchSetup builds the DP-heavy regime where incremental repair pays off:
+// many delivery points (candidate generation dominates a cold solve), few
+// workers (dynamics stay cheap), and a reprice-only stream (every delta
+// takes the warm path).
+func benchSetup(b *testing.B) (*Engine, []Delta) {
+	b.Helper()
+	in := gmInstance(b, 7, 360, 8, 120)
+	ds, err := GenerateStream(in, StreamConfig{Seed: 7, Duration: 1, RepriceRate: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ds) == 0 {
+		b.Fatal("empty benchmark stream")
+	}
+	opt := Options{VDPS: benchVDPS()}
+	opt.Game.Seed = 7
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, ds
+}
+
+func benchVDPS() vdps.Options { return vdps.Options{Epsilon: 1.5} }
+
+// BenchmarkStreamApply measures per-delta warm applies and reports the
+// latency distribution and repair locality:
+//
+//	p50-ns/delta, p99-ns/delta    delta-apply latency percentiles
+//	workers-touched/delta         strategy rebuild footprint per delta
+func BenchmarkStreamApply(b *testing.B) {
+	eng, ds := benchSetup(b)
+	lat := make([]float64, 0, b.N*len(ds))
+	var touched, applied int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range ds {
+			d.Seq = uint64(applied + 1)
+			start := time.Now()
+			res, err := eng.Apply(context.Background(), d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, float64(time.Since(start).Nanoseconds()))
+			touched += res.WorkersTouched
+			applied++
+		}
+	}
+	b.StopTimer()
+	sort.Float64s(lat)
+	b.ReportMetric(lat[len(lat)*50/100], "p50-ns/delta")
+	b.ReportMetric(lat[min(len(lat)-1, len(lat)*99/100)], "p99-ns/delta")
+	b.ReportMetric(float64(touched)/float64(applied), "workers-touched/delta")
+}
+
+// BenchmarkStreamWarmVsCold pins the tentpole claim: applying a delta to the
+// warm engine versus cold-solving the mutated instance from scratch, on the
+// same delta sequence. Reports speedup-x = mean cold / mean warm.
+func BenchmarkStreamWarmVsCold(b *testing.B) {
+	var warmNS, coldNS float64
+	var warmN, coldN int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, ds := benchSetup(b)
+		base := eng.Snapshot().Instance
+		for j, d := range ds {
+			start := time.Now()
+			if _, err := eng.Apply(context.Background(), d); err != nil {
+				b.Fatal(err)
+			}
+			warmNS += float64(time.Since(start).Nanoseconds())
+			warmN++
+			// Cold baseline on three sampled prefixes, not every delta — a
+			// full per-delta cold sweep would dominate the benchmark run.
+			if (j+1)%(len(ds)/3+1) != 0 {
+				continue
+			}
+			replayed := base.Clone()
+			if err := Replay(replayed, ds[:j+1]...); err != nil {
+				b.Fatal(err)
+			}
+			start = time.Now()
+			g, err := vdps.Generate(replayed, benchVDPS())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := game.ReferenceFGT(context.Background(), g, game.Options{Seed: 7}); err != nil {
+				b.Fatal(err)
+			}
+			coldNS += float64(time.Since(start).Nanoseconds())
+			coldN++
+		}
+	}
+	b.StopTimer()
+	warm := warmNS / float64(warmN)
+	cold := coldNS / float64(coldN)
+	b.ReportMetric(warm, "warm-ns/delta")
+	b.ReportMetric(cold, "cold-ns/solve")
+	b.ReportMetric(cold/warm, "speedup-x")
+}

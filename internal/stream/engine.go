@@ -1,0 +1,534 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fairtask/internal/audit"
+	"fairtask/internal/evo"
+	"fairtask/internal/fault"
+	"fairtask/internal/game"
+	"fairtask/internal/model"
+	"fairtask/internal/obs"
+	"fairtask/internal/payoff"
+	"fairtask/internal/platform"
+	"fairtask/internal/vdps"
+)
+
+// Algorithm names the dynamics an Engine replays per applied batch.
+type Algorithm string
+
+// The supported equilibrium dynamics.
+const (
+	// FGT replays best-response dynamics (Algorithm 2) per batch.
+	FGT Algorithm = "FGT"
+	// IEGT replays evolutionary dynamics (Algorithm 3) per batch.
+	IEGT Algorithm = "IEGT"
+)
+
+// Resolve paths, recorded in Result.Resolve and counted by
+// fta_stream_resolves_total.
+const (
+	// ResolveNoop: nothing the game reads changed; the standing
+	// equilibrium was kept without re-running dynamics.
+	ResolveNoop = "noop"
+	// ResolveWarm: strategy spaces were incrementally repaired and the
+	// dynamics replayed over them.
+	ResolveWarm = "warm"
+	// ResolveRegen: a point's earliest expiry (or the effective candidate
+	// size cap) changed, forcing a candidate-DP re-run before the replay.
+	ResolveRegen = "regen"
+	// ResolveCold: a failpoint or error broke the warm path and the batch
+	// was served by an audited cold solve through the platform ladder.
+	ResolveCold = "cold"
+)
+
+// Options configure a streaming Engine.
+type Options struct {
+	// Algorithm selects the dynamics replayed per applied batch: FGT (the
+	// default) or IEGT.
+	Algorithm Algorithm
+	// VDPS configures candidate generation, for the initial build and for
+	// every regeneration.
+	VDPS vdps.Options
+	// Game configures the FGT dynamics. The same options — in particular
+	// the Seed — are replayed on every resolve, which is what pins the
+	// warm equilibrium bit-exactly to game.ReferenceFGT on the engine's
+	// current instance.
+	Game game.Options
+	// Evo configures the IEGT dynamics when Algorithm is IEGT, with the
+	// same replay semantics against evo.ReferenceIEGT.
+	Evo evo.Options
+	// Degrade optionally arms the exact→sampled→greedy platform ladder for
+	// cold fallbacks. Nil keeps fallbacks exact-only: a fallback that
+	// cannot solve exactly fails the Apply (without consuming its
+	// sequence numbers).
+	Degrade *platform.Degrade
+	// Retry retries cold-fallback solve attempts under this policy. Nil
+	// disables retrying.
+	Retry *fault.RetryPolicy
+	// Metrics receives the fta_stream_* instruments. Nil disables.
+	Metrics *obs.StreamMetrics
+	// Recorder receives solve telemetry from cold fallbacks. Nil disables.
+	Recorder obs.Recorder
+}
+
+// Result reports what one applied batch did to the engine.
+type Result struct {
+	// Seq is the last sequence number applied (the batch's highest).
+	Seq uint64
+	// Applied is the number of deltas in the batch.
+	Applied int
+	// Resolve is the path that re-established equilibrium: ResolveNoop,
+	// ResolveWarm, ResolveRegen or ResolveCold.
+	Resolve string
+	// WorkersTouched counts workers whose strategy spaces were rebuilt or
+	// dropped — the repair blast radius (full roster on regen and cold).
+	WorkersTouched int
+	// Summary holds the committed equilibrium's payoff metrics.
+	Summary payoff.Summary
+	// Iterations and Converged report the committed dynamics run.
+	Iterations int
+	Converged  bool
+	// Degraded names the ladder rung that served a cold fallback
+	// ("sampled", "greedy"); empty for full-fidelity results.
+	Degraded string
+	// Audit holds the independent invariant report of a cold fallback;
+	// nil on warm paths (warm results are pinned by the differential
+	// tests instead).
+	Audit *audit.Report
+	// Elapsed is the wall-clock time of the whole Apply.
+	Elapsed time.Duration
+}
+
+// Snapshot is a self-consistent copy of the engine's committed state.
+type Snapshot struct {
+	// Seq is the last applied sequence number; Applied counts applied
+	// deltas over the engine's lifetime.
+	Seq     uint64
+	Applied uint64
+	// Algorithm is the engine's configured dynamics.
+	Algorithm Algorithm
+	// Instance is a deep copy of the current instance.
+	Instance *model.Instance
+	// Assignment is a copy of the current equilibrium assignment.
+	Assignment *model.Assignment
+	// Summary holds the equilibrium payoff metrics.
+	Summary payoff.Summary
+	// Iterations, Converged and Potential report the committed dynamics
+	// run, and Degraded its ladder rung if it was a degraded cold
+	// fallback.
+	Iterations int
+	Converged  bool
+	Potential  float64
+	Degraded   string
+}
+
+// Engine holds a live equilibrium over a mutating FTA instance. It keeps
+// the solver's warm structures — the VDPS candidate generator and the
+// per-worker strategy spaces — and, per applied batch, repairs only what
+// the deltas invalidated before replaying the seeded dynamics, instead of
+// cold-solving O(W) strategy spaces per event.
+//
+// Apply is transactional: deltas are staged on a clone and committed only
+// after a successful resolve, so a failed Apply leaves the previous
+// equilibrium standing and consumes no sequence numbers. An Engine is not
+// safe for concurrent use; callers (the HTTP server) serialize access.
+type Engine struct {
+	opt  Options
+	inst *model.Instance
+	// gen and strategies are the warm structures, bit-identical to what a
+	// cold build over inst would produce; strategies is keyed by worker ID
+	// because roster deltas shift instance indices.
+	gen        *vdps.Generator
+	strategies map[int][]vdps.StrategyRef
+	// maxSize is the effective candidate size cap gen was generated with;
+	// a roster delta that moves it forces a regeneration.
+	maxSize int
+	res     *game.Result
+	lastSeq uint64
+	applied uint64
+	// dirty marks the warm structures as diverged from inst (a failure
+	// after in-place generator repair): the next batch regenerates them
+	// before doing anything else.
+	dirty bool
+}
+
+// New validates the instance, cold-solves it and returns an engine warmed
+// with the solve's structures. An instance without workers is valid and
+// yields an empty equilibrium.
+func New(ctx context.Context, in *model.Instance, opt Options) (*Engine, error) {
+	switch opt.Algorithm {
+	case "":
+		opt.Algorithm = FGT
+	case FGT, IEGT:
+	default:
+		return nil, fmt.Errorf("stream: unknown algorithm %q", opt.Algorithm)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	e := &Engine{opt: opt, inst: in.Clone()}
+	gen, err := vdps.GenerateContext(ctx, e.inst, opt.VDPS)
+	if err != nil {
+		return nil, err
+	}
+	state := game.NewState(gen)
+	res, err := e.runDynamics(ctx, state, e.inst)
+	if err != nil {
+		return nil, err
+	}
+	e.gen = gen
+	e.strategies = harvestStrategies(e.inst, state)
+	e.res = res
+	e.maxSize = vdps.EffectiveMaxSize(e.inst, opt.VDPS)
+	if m := opt.Metrics; m != nil {
+		m.Seq.Set(float64(e.lastSeq))
+	}
+	return e, nil
+}
+
+// Apply applies one delta; see ApplyAll.
+func (e *Engine) Apply(ctx context.Context, d Delta) (Result, error) {
+	return e.ApplyAll(ctx, []Delta{d})
+}
+
+// ApplyAll stages the batch on a clone of the current instance, repairs the
+// warm structures, replays the dynamics and commits — or rejects the whole
+// batch with the engine untouched. Sequence numbers must be strictly
+// increasing within the batch and across calls; rejected batches consume
+// none. An empty batch is a no-op returning the standing equilibrium.
+func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "stream.apply")
+	defer sp.End()
+	sp.SetAttrInt("deltas", len(ds))
+
+	reject := func(err error) (Result, error) {
+		if m := e.opt.Metrics; m != nil {
+			m.Rejected.Inc()
+		}
+		return Result{}, err
+	}
+
+	last := e.lastSeq
+	for i := range ds {
+		if ds[i].Seq <= last {
+			return reject(fmt.Errorf("%w: event %d after %d", ErrStaleSeq, ds[i].Seq, last))
+		}
+		last = ds[i].Seq
+	}
+	if err := fpApply.Hit(ctx); err != nil {
+		return reject(fmt.Errorf("stream: apply: %w", err))
+	}
+	if len(ds) == 0 {
+		res := e.result(Result{Seq: e.lastSeq, Resolve: ResolveNoop}, start)
+		e.observe(res, nil, 0)
+		return res, nil
+	}
+
+	staged := e.inst.Clone()
+	var plan repairPlan
+	for i := range ds {
+		if err := applyDelta(staged, ds[i], &plan); err != nil {
+			return reject(err)
+		}
+	}
+	if err := staged.Validate(); err != nil {
+		return reject(fmt.Errorf("stream: staged instance: %w", err))
+	}
+
+	rsp := sp.Child("stream.repair")
+	rewardPoints, expiryChanged := plan.diff(staged)
+	regen := e.dirty || expiryChanged
+	if !regen && plan.workersChanged && vdps.EffectiveMaxSize(staged, e.opt.VDPS) != e.maxSize {
+		regen = true
+	}
+
+	res := Result{Seq: last, Applied: len(ds)}
+	var (
+		gen        *vdps.Generator
+		strategies map[int][]vdps.StrategyRef
+		state      *game.State
+		mutated    bool
+	)
+	if regen {
+		res.Resolve = ResolveRegen
+		res.WorkersTouched = len(staged.Workers)
+		var err error
+		gen, err = vdps.GenerateContext(ctx, staged, e.opt.VDPS)
+		if err != nil {
+			rsp.End()
+			return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
+		}
+		state = game.NewState(gen)
+		strategies = harvestStrategies(staged, state)
+	} else {
+		// Warm repair: rebind the generator to the staged instance, patch
+		// candidate rewards in the cold accumulation order, and rebuild
+		// only the strategy spaces the batch invalidated — new workers and
+		// workers referencing a re-priced candidate. Feasibility is
+		// untouched by reward changes (it depends on expiries, which are
+		// unchanged on this path), so every reused list is bit-identical
+		// to a cold rebuild.
+		gen = e.gen
+		gen.Rebind(staged)
+		var affected map[int]bool
+		if len(rewardPoints) > 0 {
+			changed := gen.RepairRewards(rewardPoints)
+			if len(changed) > 0 {
+				mutated = true
+				affected = workersReferencing(e.strategies, changed)
+			}
+		}
+		if !mutated && !plan.workersChanged {
+			// Nothing the game reads changed (e.g. a zero-reward arrival
+			// above the point's earliest expiry): commit the instance and
+			// keep the standing equilibrium.
+			rsp.End()
+			res.Resolve = ResolveNoop
+			e.commit(staged, gen, e.strategies, e.res, last, len(ds))
+			res = e.result(res, start)
+			e.observe(res, ds, 0)
+			return res, nil
+		}
+		res.Resolve = ResolveWarm
+		strategies = make(map[int][]vdps.StrategyRef, len(staged.Workers))
+		ordered := make([][]vdps.StrategyRef, len(staged.Workers))
+		var sc vdps.StrategyScratch
+		for w := range staged.Workers {
+			id := staged.Workers[w].ID
+			if s, ok := e.strategies[id]; ok && !affected[id] {
+				strategies[id], ordered[w] = s, s
+				continue
+			}
+			l := gen.WorkerStrategies(w, &sc)
+			strategies[id], ordered[w] = l, l
+			res.WorkersTouched++
+		}
+		for id := range e.strategies {
+			if _, ok := strategies[id]; !ok {
+				res.WorkersTouched++ // departed worker: strategy space dropped
+			}
+		}
+		state = game.NewStateWithStrategies(gen, ordered)
+	}
+	rsp.End()
+
+	vstart := time.Now()
+	vsp := sp.Child("stream.resolve")
+	if err := fpResolve.Hit(ctx); err != nil {
+		vsp.End()
+		return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
+	}
+	solved, err := e.runDynamics(ctx, state, staged)
+	vsp.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			if mutated {
+				e.dirty = true
+			}
+			return Result{}, err
+		}
+		return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
+	}
+	e.commit(staged, gen, strategies, solved, last, len(ds))
+	res = e.result(res, start)
+	e.observe(res, ds, time.Since(vstart))
+	return res, nil
+}
+
+// Snapshot returns a self-consistent copy of the committed state. It never
+// re-solves: the returned equilibrium is exactly what the last successful
+// Apply (or New) committed.
+func (e *Engine) Snapshot() Snapshot {
+	sum := e.res.Summary
+	sum.Payoffs = append([]float64(nil), sum.Payoffs...)
+	return Snapshot{
+		Seq:        e.lastSeq,
+		Applied:    e.applied,
+		Algorithm:  e.opt.Algorithm,
+		Instance:   e.inst.Clone(),
+		Assignment: e.res.Assignment.Clone(),
+		Summary:    sum,
+		Iterations: e.res.Iterations,
+		Converged:  e.res.Converged,
+		Potential:  e.res.Potential,
+		Degraded:   e.res.Degraded,
+	}
+}
+
+// recover serves the batch through an audited cold solve on the platform
+// ladder after cause broke the warm path, then rebuilds the warm structures
+// for subsequent batches. The committed result does not depend on those
+// structures — every resolve replays the dynamics from scratch — so a
+// failed rebuild only marks the engine dirty (forcing regeneration next
+// batch) instead of failing the Apply.
+func (e *Engine) recover(ctx context.Context, sp *obs.Span, staged *model.Instance, ds []Delta, res Result, start time.Time, cause error, mutated bool) (Result, error) {
+	vstart := time.Now()
+	csp := sp.Child("stream.cold")
+	csp.SetAttr("cause", cause.Error())
+	defer csp.End()
+	solved, report, err := platform.SolveInstance(ctx, staged, dynamicsAssigner{e}, platform.Options{
+		VDPS:     e.opt.VDPS,
+		Recorder: e.opt.Recorder,
+		Audit: &audit.Options{
+			Fairness:      e.opt.Game.Fairness,
+			UsePriorities: e.opt.Game.UsePriorities,
+		},
+		Retry:   e.opt.Retry,
+		Degrade: e.opt.Degrade,
+	})
+	if err != nil {
+		if mutated {
+			e.dirty = true
+		}
+		if m := e.opt.Metrics; m != nil {
+			m.Rejected.Inc()
+		}
+		return Result{}, fmt.Errorf("stream: cold fallback (after %v): %w", cause, err)
+	}
+	res.Resolve = ResolveCold
+	res.WorkersTouched = len(staged.Workers)
+	res.Audit = report
+	if gen, strategies, err := e.buildCaches(ctx, staged); err == nil {
+		e.commit(staged, gen, strategies, solved, res.Seq, len(ds))
+	} else {
+		e.inst = staged
+		e.res = solved
+		e.lastSeq = res.Seq
+		e.applied += uint64(len(ds))
+		e.dirty = true
+	}
+	res = e.result(res, start)
+	e.observe(res, ds, time.Since(vstart))
+	return res, nil
+}
+
+// runDynamics replays the configured dynamics on a fresh state. A roster
+// without workers yields the empty equilibrium instead of ErrNoWorkers,
+// so an engine can drain to zero workers and refill.
+func (e *Engine) runDynamics(ctx context.Context, s *game.State, in *model.Instance) (*game.Result, error) {
+	if len(in.Workers) == 0 {
+		return emptyResult(in), nil
+	}
+	if e.opt.Algorithm == IEGT {
+		return evo.IEGTFromState(ctx, s, e.opt.Evo)
+	}
+	return game.FGTFromState(ctx, s, e.opt.Game)
+}
+
+// buildCaches regenerates the warm structures for an instance without
+// running dynamics.
+func (e *Engine) buildCaches(ctx context.Context, in *model.Instance) (*vdps.Generator, map[int][]vdps.StrategyRef, error) {
+	gen, err := vdps.GenerateContext(ctx, in, e.opt.VDPS)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gen, harvestStrategies(in, game.NewState(gen)), nil
+}
+
+// commit installs the staged instance and its consistent warm structures.
+func (e *Engine) commit(staged *model.Instance, gen *vdps.Generator, strategies map[int][]vdps.StrategyRef, res *game.Result, seq uint64, n int) {
+	e.inst = staged
+	e.gen = gen
+	e.strategies = strategies
+	e.res = res
+	e.maxSize = vdps.EffectiveMaxSize(staged, e.opt.VDPS)
+	e.lastSeq = seq
+	e.applied += uint64(n)
+	e.dirty = false
+}
+
+// result fills the committed-state fields of a Result.
+func (e *Engine) result(r Result, start time.Time) Result {
+	sum := e.res.Summary
+	sum.Payoffs = append([]float64(nil), sum.Payoffs...)
+	r.Summary = sum
+	r.Iterations = e.res.Iterations
+	r.Converged = e.res.Converged
+	r.Degraded = e.res.Degraded
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// observe records the applied batch's metrics.
+func (e *Engine) observe(r Result, ds []Delta, resolve time.Duration) {
+	m := e.opt.Metrics
+	if m == nil {
+		return
+	}
+	for i := range ds {
+		if c := m.DeltaCounter(string(ds[i].Kind)); c != nil {
+			c.Inc()
+		}
+	}
+	if c := m.ResolveCounter(r.Resolve); c != nil {
+		c.Inc()
+	}
+	m.ApplySeconds.Observe(r.Elapsed.Seconds())
+	if r.Resolve != ResolveNoop {
+		m.ResolveSeconds.Observe(resolve.Seconds())
+	}
+	m.WorkersTouched.Observe(float64(r.WorkersTouched))
+	m.Seq.Set(float64(e.lastSeq))
+}
+
+// dynamicsAssigner adapts the engine's configured dynamics to the platform
+// ladder's Assigner interface for cold fallbacks. Running the dynamics via
+// the package-level entry points on a ladder-generated generator is
+// bit-identical to the warm replay on repaired structures, so an exact-rung
+// fallback changes availability, not results.
+type dynamicsAssigner struct{ e *Engine }
+
+// Name identifies the dynamics in solve telemetry.
+func (a dynamicsAssigner) Name() string { return string(a.e.opt.Algorithm) }
+
+// Assign solves the generator's instance with the engine's dynamics.
+func (a dynamicsAssigner) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, error) {
+	if len(g.Instance().Workers) == 0 {
+		return emptyResult(g.Instance()), nil
+	}
+	if a.e.opt.Algorithm == IEGT {
+		return evo.IEGT(ctx, g, a.e.opt.Evo)
+	}
+	return game.FGT(ctx, g, a.e.opt.Game)
+}
+
+// harvestStrategies keys a state's strategy spaces by worker ID for the
+// engine's roster-stable cache.
+func harvestStrategies(in *model.Instance, s *game.State) map[int][]vdps.StrategyRef {
+	m := make(map[int][]vdps.StrategyRef, len(in.Workers))
+	for w := range in.Workers {
+		m[in.Workers[w].ID] = s.Strategies[w]
+	}
+	return m
+}
+
+// workersReferencing returns the IDs of cached workers whose strategy lists
+// reference any changed candidate. Reward repair cannot change a list's
+// candidate membership (feasibility ignores rewards), so membership in the
+// cached list is exactly the rebuild condition.
+func workersReferencing(cache map[int][]vdps.StrategyRef, changed []int) map[int]bool {
+	set := make(map[int32]bool, len(changed))
+	for _, ci := range changed {
+		set[int32(ci)] = true
+	}
+	out := make(map[int]bool)
+	for id, list := range cache {
+		for i := range list {
+			if set[list[i].Cand] {
+				out[id] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// emptyResult is the equilibrium of a workerless instance.
+func emptyResult(in *model.Instance) *game.Result {
+	a := model.NewAssignment(0)
+	return &game.Result{Assignment: a, Summary: payoff.Summarize(in, a), Converged: true}
+}

@@ -1,0 +1,15 @@
+package stream
+
+import "fairtask/internal/fault"
+
+// fpApply is hit after sequence validation and before any staging, so an
+// armed failure rejects the batch with no state mutated and no sequence
+// number consumed — the "ingest refused" chaos scenario.
+var fpApply = fault.Point("stream.apply")
+
+// fpResolve is hit at the start of the equilibrium re-solve, after the
+// staged instance and repaired structures are built. An armed failure
+// abandons the warm path and degrades the batch to a cold re-solve through
+// the platform ladder (see Engine.fallback) — the "mid-delta failure" chaos
+// scenario: the batch still commits, bit-exact or ladder-audited.
+var fpResolve = fault.Point("stream.resolve")

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fairtask/internal/model"
+)
+
+// StreamConfig parameterizes GenerateStream's synthetic delta stream.
+type StreamConfig struct {
+	// Seed drives every random choice; equal seeds on equal instances
+	// yield bit-identical streams.
+	Seed int64
+	// Rate is the Poisson task-arrival intensity in tasks per hour.
+	// Zero disables arrivals.
+	Rate float64
+	// Duration is the stream length in hours.
+	Duration float64
+	// Lifetime is each arriving task's delivery window in hours: a task
+	// arriving at t expires at t+Lifetime (emitting a TaskExpired delta
+	// when that falls inside the stream). Zero means 1.5.
+	Lifetime float64
+	// Reward is the arriving tasks' payment (zero means 1) and the scale
+	// of re-priced rewards (uniform on [0, 2*Reward)).
+	Reward float64
+	// ChurnRate is the Poisson intensity of worker roster toggles per
+	// hour: each event takes a random online worker offline or brings a
+	// random offline one back. Zero disables churn.
+	ChurnRate float64
+	// RepriceRate is the Poisson intensity of task re-pricings per hour,
+	// each re-pricing a random live task. Zero disables re-pricing.
+	RepriceRate float64
+	// FirstSeq numbers the first delta; zero means 1.
+	FirstSeq uint64
+	// TaskIDBase is the first generated task ID; zero means one past the
+	// instance's largest task ID.
+	TaskIDBase int
+}
+
+// ErrEmptyStreamSpace rejects stream configurations with nothing to act on:
+// arrivals without delivery points, or churn without workers.
+var ErrEmptyStreamSpace = errors.New("stream: instance has no space for the configured events")
+
+// GenerateStream synthesizes a deterministic Poisson delta stream over the
+// instance: task arrivals (with their matching expiries), worker churn and
+// task re-pricings, merged in time order and numbered from FirstSeq. The
+// instance is only read. Initial instance tasks are never auto-expired —
+// the stream describes change, not the instance's own deadlines — but they
+// participate in re-pricing until their printed expiry.
+func GenerateStream(in *model.Instance, cfg StreamConfig) ([]Delta, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("stream: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.Rate < 0 || cfg.ChurnRate < 0 || cfg.RepriceRate < 0 {
+		return nil, fmt.Errorf("stream: negative event rate")
+	}
+	if cfg.Rate > 0 && len(in.Points) == 0 {
+		return nil, fmt.Errorf("%w: arrivals need delivery points", ErrEmptyStreamSpace)
+	}
+	if cfg.ChurnRate > 0 && len(in.Workers) == 0 {
+		return nil, fmt.Errorf("%w: churn needs workers", ErrEmptyStreamSpace)
+	}
+	if cfg.Lifetime <= 0 {
+		cfg.Lifetime = 1.5
+	}
+	if cfg.Reward <= 0 {
+		cfg.Reward = 1
+	}
+	nextID := cfg.TaskIDBase
+	if nextID <= 0 {
+		nextID = 1
+		for p := range in.Points {
+			for i := range in.Points[p].Tasks {
+				if id := in.Points[p].Tasks[i].ID; id >= nextID {
+					nextID = id + 1
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var ds []Delta
+
+	// Task lifetimes, for the re-pricing pass: [start, end) intervals of
+	// every task that is live at some point of the stream.
+	type span struct {
+		id         int
+		start, end float64
+	}
+	var live []span
+	for p := range in.Points {
+		for i := range in.Points[p].Tasks {
+			t := &in.Points[p].Tasks[i]
+			live = append(live, span{id: t.ID, start: 0, end: t.Expiry})
+		}
+	}
+
+	// Pass 1: arrivals and their expiries.
+	if cfg.Rate > 0 {
+		for t := rng.ExpFloat64() / cfg.Rate; t < cfg.Duration; t += rng.ExpFloat64() / cfg.Rate {
+			id := nextID
+			nextID++
+			expiry := t + cfg.Lifetime
+			ds = append(ds, Delta{
+				Kind: TaskArrived, At: t, TaskID: id,
+				Point: rng.Intn(len(in.Points)), Expiry: expiry, Reward: cfg.Reward,
+			})
+			if expiry < cfg.Duration {
+				ds = append(ds, Delta{Kind: TaskExpired, At: expiry, TaskID: id})
+			}
+			live = append(live, span{id: id, start: t, end: expiry})
+		}
+	}
+
+	// Pass 2: worker churn. The online/offline partition is simulated here
+	// so every generated toggle is valid when the engine replays the
+	// stream in sequence order.
+	if cfg.ChurnRate > 0 {
+		workers := make(map[int]model.Worker, len(in.Workers))
+		online := make([]int, len(in.Workers))
+		var offline []int
+		for w := range in.Workers {
+			workers[in.Workers[w].ID] = in.Workers[w]
+			online[w] = in.Workers[w].ID
+		}
+		for t := rng.ExpFloat64() / cfg.ChurnRate; t < cfg.Duration; t += rng.ExpFloat64() / cfg.ChurnRate {
+			if len(offline) > 0 && (len(online) == 0 || rng.Intn(2) == 1) {
+				i := rng.Intn(len(offline))
+				id := offline[i]
+				offline = append(offline[:i], offline[i+1:]...)
+				online = append(online, id)
+				w := workers[id]
+				ds = append(ds, Delta{
+					Kind: WorkerOnline, At: t, WorkerID: id, Loc: w.Loc,
+					MaxDP: w.MaxDP, Priority: w.Priority,
+					Contribution: w.Contribution, Speed: w.Speed,
+				})
+			} else if len(online) > 0 {
+				i := rng.Intn(len(online))
+				id := online[i]
+				online = append(online[:i], online[i+1:]...)
+				offline = append(offline, id)
+				ds = append(ds, Delta{Kind: WorkerOffline, At: t, WorkerID: id})
+			}
+		}
+	}
+
+	// Pass 3: re-pricings of tasks live at the event time. A task is live
+	// on [start, end); the strict end keeps a re-pricing from ever tying
+	// with its task's expiry delta.
+	if cfg.RepriceRate > 0 {
+		var alive []int
+		for t := rng.ExpFloat64() / cfg.RepriceRate; t < cfg.Duration; t += rng.ExpFloat64() / cfg.RepriceRate {
+			alive = alive[:0]
+			for _, s := range live {
+				if s.start <= t && t < s.end {
+					alive = append(alive, s.id)
+				}
+			}
+			reward := rng.Float64() * 2 * cfg.Reward
+			if len(alive) == 0 {
+				continue
+			}
+			ds = append(ds, Delta{
+				Kind: RewardChanged, At: t,
+				TaskID: alive[rng.Intn(len(alive))], Reward: reward,
+			})
+		}
+	}
+
+	// Merge in time order, ties broken by emission order, and number the
+	// stream.
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].At < ds[j].At })
+	first := cfg.FirstSeq
+	if first == 0 {
+		first = 1
+	}
+	for i := range ds {
+		ds[i].Seq = first + uint64(i)
+	}
+	return ds, nil
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateStreamDeterministic pins the generator: equal seeds yield
+// bit-identical streams, different seeds diverge.
+func TestGenerateStreamDeterministic(t *testing.T) {
+	in := gmInstance(t, 21, 40, 8, 16)
+	cfg := StreamConfig{Seed: 5, Rate: 30, Duration: 1, ChurnRate: 4, RepriceRate: 10}
+	a, err := GenerateStream(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	cfg.Seed = 6
+	c, err := GenerateStream(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGenerateStreamWellFormed checks stream invariants: strictly
+// increasing sequence numbers, non-decreasing event times inside the
+// horizon, and a full replay with no rejections — both standalone and
+// through a live engine.
+func TestGenerateStreamWellFormed(t *testing.T) {
+	in := gmInstance(t, 22, 40, 8, 16)
+	ds, err := GenerateStream(in, StreamConfig{
+		Seed: 9, Rate: 40, Duration: 1.5, ChurnRate: 6, RepriceRate: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) < 20 {
+		t.Fatalf("suspiciously short stream: %d deltas", len(ds))
+	}
+	for i := range ds {
+		if ds[i].Seq != uint64(i+1) {
+			t.Fatalf("delta %d has seq %d", i, ds[i].Seq)
+		}
+		if i > 0 && ds[i].At < ds[i-1].At {
+			t.Fatalf("delta %d out of time order", i)
+		}
+		if ds[i].At < 0 || ds[i].At >= 1.5 {
+			t.Fatalf("delta %d at %v outside horizon", i, ds[i].At)
+		}
+	}
+	if err := Replay(in.Clone(), ds...); err != nil {
+		t.Fatalf("replay rejected generated stream: %v", err)
+	}
+	opt := Options{VDPS: testVDPS}
+	opt.Game.Seed = 22
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ApplyAll(context.Background(), ds); err != nil {
+		t.Fatalf("engine rejected generated stream: %v", err)
+	}
+	if got := eng.Snapshot().Seq; got != uint64(len(ds)) {
+		t.Fatalf("engine seq %d after %d deltas", got, len(ds))
+	}
+}
+
+// TestGenerateStreamValidation pins the config rejections.
+func TestGenerateStreamValidation(t *testing.T) {
+	in := gmInstance(t, 23, 20, 4, 8)
+	if _, err := GenerateStream(in, StreamConfig{Rate: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := GenerateStream(in, StreamConfig{Rate: -1, Duration: 1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	noPoints := in.Clone()
+	noPoints.Points = nil
+	if _, err := GenerateStream(noPoints, StreamConfig{Rate: 1, Duration: 1}); err == nil {
+		t.Fatal("arrivals without points accepted")
+	}
+	noWorkers := in.Clone()
+	noWorkers.Workers = nil
+	if _, err := GenerateStream(noWorkers, StreamConfig{ChurnRate: 1, Duration: 1}); err == nil {
+		t.Fatal("churn without workers accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package vdps
+
+import "fairtask/internal/model"
+
+// Rebind repoints the generator at a structurally identical instance: the
+// same delivery points (count, order, locations, earliest expiries) and the
+// same travel model, but possibly different task rewards or a different
+// worker roster. Per-worker queries (WorkerStrategies, ForWorker) read the
+// new instance immediately; candidate structure is untouched.
+//
+// Rebind is the cheap half of incremental strategy-space repair for the
+// streaming engine: worker arrivals and departures never change the
+// center-level candidate DP, and reward-only task churn changes candidate
+// rewards but not frontiers. Callers are responsible for the structural
+// contract — a delta that changes any point's earliest expiry (or the point
+// set itself) invalidates the DP and requires a full Generate instead.
+func (g *Generator) Rebind(in *model.Instance) {
+	g.inst = in
+}
+
+// EffectiveMaxSize returns the candidate-set size cap Generate would apply
+// to the instance under the options: Options.MaxSize when positive,
+// otherwise the worker-derived cap, both clamped to the point count. The
+// streaming engine compares this value across a worker-roster delta to
+// decide whether a cached generator still covers every set size a worker
+// could ask for, or whether the candidate DP must be re-run.
+func EffectiveMaxSize(in *model.Instance, opt Options) int {
+	ms := opt.MaxSize
+	if ms <= 0 {
+		ms = derivedMaxSize(in)
+	}
+	if ms > len(in.Points) {
+		ms = len(in.Points)
+	}
+	return ms
+}
+
+// RepairRewards recomputes the cached Reward of every candidate containing
+// at least one of the given delivery points, after task arrivals, removals
+// or reward changes confined to those points. It returns the indices of
+// candidates whose reward actually changed (bitwise), in ascending order.
+//
+// Each affected reward is recomputed from scratch by summing the point
+// rewards in ascending point order — exactly the accumulation order
+// addCandidate uses during a cold Generate — so a repaired generator is
+// bit-identical to a freshly generated one on every field the solvers read.
+// Strategy references handed out before the repair hold stale payoffs;
+// rebuild affected workers with WorkerStrategies.
+func (g *Generator) RepairRewards(points []int) []int {
+	if len(points) == 0 {
+		return nil
+	}
+	touched := make(map[int]bool, len(points))
+	for _, p := range points {
+		touched[p] = true
+	}
+	var changed []int
+	for ci := range g.candidates {
+		c := &g.candidates[ci]
+		hit := false
+		for _, p := range c.Points {
+			if touched[p] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		var reward float64
+		for _, p := range c.Points {
+			reward += g.inst.Points[p].TotalReward()
+		}
+		if reward != c.Reward {
+			c.Reward = reward
+			changed = append(changed, ci)
+		}
+	}
+	return changed
+}
