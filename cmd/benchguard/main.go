@@ -1,0 +1,203 @@
+// Command benchguard compares Go benchmark results against a committed
+// baseline and exits non-zero when any benchmark regressed beyond the
+// tolerance — the CI tripwire for the solver's performance budget (see
+// docs/PERFORMANCE.md).
+//
+// It reads `go test -json -bench` streams (the BENCH_*.json artifacts CI
+// already uploads) or plain `go test -bench` text, extracts every
+// "Benchmark... ns/op" line, and keeps the minimum ns/op per benchmark
+// name (the least-noisy statistic for a tripwire). The GOMAXPROCS suffix
+// ("-4") is stripped so baselines survive runner core-count changes.
+//
+// Usage:
+//
+//	benchguard -baseline .github/bench_baseline.json BENCH_game.json BENCH_platform.json
+//	benchguard -baseline .github/bench_baseline.json -update BENCH_game.json ...
+//
+// A benchmark present in the baseline but absent from the inputs is only a
+// warning (CI shards benches across artifacts); a regression beyond
+// -tolerance (default 0.15 = +15% ns/op) is fatal. New benchmarks are
+// reported so the baseline can be refreshed with -update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line. The leading name is optional:
+// test2json events carry the name in the Test field and often emit the
+// result line as bare "       2\t  123 ns/op" output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)?\s*\d+\s+([0-9.]+) ns/op`)
+
+// procsSuffix is the GOMAXPROCS suffix go test appends to benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark name -> minimum ns/op from a test2json stream or
+// plain benchmark text.
+func parse(r io.Reader, into map[string]float64) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		text, name := line, ""
+		if line[0] == '{' {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return err
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			text = strings.TrimSpace(ev.Output)
+			name = ev.Test
+		}
+		m := benchLine.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		if m[1] != "" {
+			name = m[1]
+		}
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		name = procsSuffix.ReplaceAllString(name, "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %w", text, err)
+		}
+		if prev, ok := into[name]; !ok || ns < prev {
+			into[name] = ns
+		}
+	}
+	return sc.Err()
+}
+
+// check compares current results against the baseline and returns the
+// regression report lines, the informational lines, and whether the run
+// passed.
+func check(baseline, current map[string]float64, tolerance float64) (bad, info []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			info = append(info, fmt.Sprintf("warn: %s in baseline but not in inputs", name))
+			continue
+		}
+		if base <= 0 {
+			continue
+		}
+		ratio := cur/base - 1
+		if ratio > tolerance {
+			bad = append(bad, fmt.Sprintf("%s regressed %.1f%%: %.0f ns/op (baseline %.0f, tolerance %.0f%%)",
+				name, ratio*100, cur, base, tolerance*100))
+		}
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		info = append(info, fmt.Sprintf("note: %s not in baseline (run with -update to add)", name))
+	}
+	return bad, info
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", ".github/bench_baseline.json", "committed baseline file")
+	tolerance := fs.Float64("tolerance", 0.15, "fatal relative ns/op regression (0.15 = +15%)")
+	update := fs.Bool("update", false, "rewrite the baseline from the inputs instead of checking")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "benchguard: no bench result files given")
+		return 2
+	}
+	current := map[string]float64{}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		err = parse(f, current)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(stderr, "benchguard: no benchmark results found in inputs")
+		return 2
+	}
+	if *update {
+		buf, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchguard: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return 0
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v (run with -update to create)\n", err)
+		return 2
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(stderr, "benchguard: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	bad, info := check(baseline, current, *tolerance)
+	for _, line := range info {
+		fmt.Fprintln(stdout, line)
+	}
+	if len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintln(stderr, line)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within %.0f%% of baseline\n",
+		len(baseline), *tolerance*100)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `{"Action":"output","Package":"fairtask/internal/game","Output":"BenchmarkSolveFGT/W200-4         \t       1\t  31415926 ns/op\t 1024 B/op\t 12 allocs/op\n"}
+{"Action":"output","Package":"fairtask/internal/game","Output":"BenchmarkSolveFGT/W200-4         \t       1\t  29000000 ns/op\n"}
+{"Action":"output","Package":"fairtask/internal/game","Output":"some unrelated output\n"}
+{"Action":"output","Package":"fairtask/internal/platform","Test":"BenchmarkBatch/pool=2","Output":"       2\t   2598992 ns/op\n"}
+{"Action":"run","Package":"fairtask/internal/game"}
+BenchmarkPlainText-8   	     100	    5000 ns/op
+`
+
+func TestParse(t *testing.T) {
+	got := map[string]float64{}
+	if err := parse(strings.NewReader(sampleStream), got); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate results keep the minimum, the -4/-8 suffixes are stripped,
+	// and bare result lines take their name from the event's Test field.
+	want := map[string]float64{
+		"BenchmarkSolveFGT/W200": 29000000,
+		"BenchmarkBatch/pool=2":  2598992,
+		"BenchmarkPlainText":     5000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 50}
+	current := map[string]float64{"BenchmarkA": 110, "BenchmarkB": 120, "BenchmarkNew": 7}
+	bad, info := check(baseline, current, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkB") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkB", bad)
+	}
+	joined := strings.Join(info, "\n")
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "BenchmarkNew") {
+		t.Errorf("info lines missing baseline-only/new benchmarks:\n%s", joined)
+	}
+}
+
+func TestRunUpdateThenCheck(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleStream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "baseline.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", base, "-update", in}, &out, &errb); code != 0 {
+		t.Fatalf("update exited %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline map[string]float64
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline["BenchmarkSolveFGT/W200"] != 29000000 {
+		t.Fatalf("baseline = %v", baseline)
+	}
+	// Same inputs against the fresh baseline pass.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, in}, &out, &errb); code != 0 {
+		t.Fatalf("check exited %d: %s", code, errb.String())
+	}
+	// A 20x slowdown fails at the default 15% tolerance.
+	slow := strings.ReplaceAll(sampleStream, "29000000 ns/op", "580000000 ns/op")
+	slow = strings.ReplaceAll(slow, "31415926 ns/op", "620000000 ns/op")
+	if err := os.WriteFile(in, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, in}, &out, &errb); code != 1 {
+		t.Fatalf("regressed run exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "BenchmarkSolveFGT/W200 regressed") {
+		t.Errorf("stderr missing regression line: %s", errb.String())
+	}
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -19,6 +20,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	inst, err := fairtask.GenerateGM(fairtask.GMConfig{
 		Seed:           9,
 		Tasks:          200,
@@ -26,7 +33,7 @@ func main() {
 		DeliveryPoints: 60,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for _, alg := range []fairtask.Algorithm{fairtask.AlgFGT, fairtask.AlgIEGT} {
@@ -37,19 +44,22 @@ func main() {
 			VDPS:      fairtask.VDPSOptions{Epsilon: 0.6},
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s converged=%v after %d iterations\n", alg, res.Converged, res.Iterations)
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(out, "%s converged=%v after %d iterations\n", alg, res.Converged, res.Iterations)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "iter\tchanges\tpayoff difference\taverage payoff")
 		for _, it := range res.Trace {
 			fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.4f\n",
 				it.Iteration, it.Changes, it.PayoffDiff, it.AvgPayoff)
 		}
-		tw.Flush()
-		fmt.Println()
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
 
-	fmt.Println("Both traces end with zero strategy changes: FGT at a pure Nash")
-	fmt.Println("equilibrium, IEGT at an improved evolutionary equilibrium.")
+	fmt.Fprintln(out, "Both traces end with zero strategy changes: FGT at a pure Nash")
+	fmt.Fprintln(out, "equilibrium, IEGT at an improved evolutionary equilibrium.")
+	return nil
 }

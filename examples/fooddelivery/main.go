@@ -11,16 +11,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"fairtask"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, 15) // e-bikes: 15 km/h
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	inst := &fairtask.Instance{
@@ -76,7 +84,7 @@ func main() {
 		})
 	}
 	if err := inst.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	res, err := fairtask.Solve(inst, fairtask.Options{
@@ -84,15 +92,15 @@ func main() {
 		Seed:      3,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("Lunch-rush assignment (FGT, inequity-aversion utility):")
-	fmt.Println()
+	fmt.Fprintln(out, "Lunch-rush assignment (FGT, inequity-aversion utility):")
+	fmt.Fprintln(out)
 	for w, route := range res.Assignment.Routes {
 		name := couriers[w].name
 		if len(route) == 0 {
-			fmt.Printf("  %-5s idle this round\n", name)
+			fmt.Fprintf(out, "  %-5s idle this round\n", name)
 			continue
 		}
 		var stops []string
@@ -101,15 +109,16 @@ func main() {
 		}
 		arr := inst.RouteArrivals(w, route)
 		eta := arr[len(arr)-1] * 60
-		fmt.Printf("  %-5s kitchen -> %s  (%d orders, done in %.0f min, payoff %.2f)\n",
+		fmt.Fprintf(out, "  %-5s kitchen -> %s  (%d orders, done in %.0f min, payoff %.2f)\n",
 			name, strings.Join(stops, " -> "),
 			int(inst.RouteReward(route)), eta, res.Summary.Payoffs[w])
 	}
-	fmt.Println()
-	fmt.Printf("payoff difference across couriers: %.3f\n", res.Summary.Difference)
-	fmt.Printf("average courier payoff:            %.3f\n", res.Summary.Average)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "payoff difference across couriers: %.3f\n", res.Summary.Difference)
+	fmt.Fprintf(out, "average courier payoff:            %.3f\n", res.Summary.Average)
 	if err := res.Assignment.Validate(inst); err != nil {
-		log.Fatalf("assignment failed validation: %v", err)
+		return fmt.Errorf("assignment failed validation: %w", err)
 	}
-	fmt.Println("all delivery windows verified feasible")
+	fmt.Fprintln(out, "all delivery windows verified feasible")
+	return nil
 }

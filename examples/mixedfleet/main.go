@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -22,9 +23,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, 12) // fleet default: bikes
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	inst := &fairtask.Instance{
 		Center: fairtask.Pt(0, 0),
@@ -68,7 +75,7 @@ func main() {
 		})
 	}
 	if err := inst.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	res, err := fairtask.Solve(inst, fairtask.Options{
@@ -77,15 +84,15 @@ func main() {
 		UsePriorities: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := res.Assignment.Validate(inst); err != nil {
-		log.Fatalf("assignment invalid: %v", err)
+		return fmt.Errorf("assignment invalid: %w", err)
 	}
 
-	fmt.Println("Mixed-fleet assignment (FGT with priority-aware IAU):")
-	fmt.Println()
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(out, "Mixed-fleet assignment (FGT with priority-aware IAU):")
+	fmt.Fprintln(out)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "courier\tvehicle\tpriority\tstops\tpayoff\tpayoff/priority")
 	for w, c := range fleet {
 		route := res.Assignment.Routes[w]
@@ -94,14 +101,15 @@ func main() {
 			c.name, c.vehicle, c.priority, len(route), p, p/c.priority)
 	}
 	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println()
-	fmt.Printf("raw payoff difference:  %.3f\n", res.Summary.Difference)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "raw payoff difference:  %.3f\n", res.Summary.Difference)
 	norm := make([]float64, len(fleet))
 	for w, c := range fleet {
 		norm[w] = res.Summary.Payoffs[w] / c.priority
 	}
-	fmt.Printf("priority-normalized:    %.3f  (what the utility equalizes)\n",
+	fmt.Fprintf(out, "priority-normalized:    %.3f  (what the utility equalizes)\n",
 		fairtask.PayoffDifference(norm))
+	return nil
 }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -22,9 +23,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	travel, err := fairtask.NewTravelModel(fairtask.Euclidean{}, 12) // cargo bikes
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	inst := &fairtask.Instance{
 		Center: fairtask.Pt(0, 0),
@@ -59,12 +66,12 @@ func main() {
 		})
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "policy\tassigned\trejected\trate spread (P_dif)\tavg rate")
 	for _, policy := range []fairtask.OnlinePolicy{fairtask.OnlineGreedy, fairtask.OnlineFairFirst} {
 		m, err := fairtask.NewOnlineMatcher(inst, policy)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, a := range stream {
 			m.Offer(a.at, a.task)
@@ -74,8 +81,9 @@ func main() {
 			rep.Policy, rep.Assigned, rep.Rejected, rep.RateDifference, rep.RateAverage)
 	}
 	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nfair-first trades a little throughput for a much tighter")
-	fmt.Println("earnings-rate spread across couriers.")
+	fmt.Fprintln(out, "\nfair-first trades a little throughput for a much tighter")
+	fmt.Fprintln(out, "earnings-rate spread across couriers.")
+	return nil
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -19,6 +20,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	prob, err := fairtask.GenerateSYN(fairtask.SYNConfig{
 		Seed:           2024,
 		Centers:        8,
@@ -29,9 +36,9 @@ func main() {
 		MaxDP:          3,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("network: %d depots, %d drop points, %d parcels, %d drivers\n\n",
+	fmt.Fprintf(out, "network: %d depots, %d drop points, %d parcels, %d drivers\n\n",
 		len(prob.Instances), 400, prob.TaskCount(), prob.WorkerCount())
 
 	// One-shot assignment across all depots in parallel.
@@ -42,9 +49,9 @@ func main() {
 			VDPS:      fairtask.VDPSOptions{Epsilon: 2},
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-5s payoff difference %.3f, average payoff %.3f (solved in %s)\n",
+		fmt.Fprintf(out, "%-5s payoff difference %.3f, average payoff %.3f (solved in %s)\n",
 			alg, res.Difference, res.Average, res.Elapsed.Round(1000000))
 	}
 
@@ -55,7 +62,7 @@ func main() {
 		VDPS: fairtask.VDPSOptions{Epsilon: 2},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rep, err := fairtask.Simulate(prob, fairtask.SimConfig{
 		Epochs:      8,
@@ -69,19 +76,22 @@ func main() {
 		}),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\nsimulated morning (IEGT every 30 min):")
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(out, "\nsimulated morning (IEGT every 30 min):")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "round\tclock\tonline\tassigned\tdelivered\texpired")
 	for _, e := range rep.Epochs {
 		fmt.Fprintf(tw, "%d\t%.1fh\t%d\t%d\t%d\t%d\n",
 			e.Epoch, e.Now, e.OnlineWorkers, e.AssignedWorkers,
 			e.CompletedTasks, e.ExpiredTasks)
 	}
-	tw.Flush()
-	fmt.Printf("\ndelivered %d parcels, %d expired\n", rep.CompletedTasks, rep.ExpiredTasks)
-	fmt.Printf("long-run earnings-rate inequality across drivers: %.3f (avg rate %.3f)\n",
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ndelivered %d parcels, %d expired\n", rep.CompletedTasks, rep.ExpiredTasks)
+	fmt.Fprintf(out, "long-run earnings-rate inequality across drivers: %.3f (avg rate %.3f)\n",
 		rep.CumulativeDifference, rep.CumulativeAverage)
+	return nil
 }

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -15,16 +16,22 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// A single distribution center with clustered tasks, 100 delivery
 	// points derived by k-means, and 40 couriers (Table I GM defaults).
 	inst, err := fairtask.GenerateGM(fairtask.GMConfig{Seed: 42})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("instance: %d delivery points, %d tasks, %d workers\n\n",
+	fmt.Fprintf(out, "instance: %d delivery points, %d tasks, %d workers\n\n",
 		len(inst.Points), inst.TaskCount(), len(inst.Workers))
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "algorithm\tpayoff difference\taverage payoff\titerations\tconverged")
 	for _, alg := range fairtask.Algorithms() {
 		res, err := fairtask.Solve(inst, fairtask.Options{
@@ -34,17 +41,18 @@ func main() {
 			VDPS: fairtask.VDPSOptions{Epsilon: 0.6},
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%d\t%v\n",
 			alg, res.Summary.Difference, res.Summary.Average,
 			res.Iterations, res.Converged)
 	}
 	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\nLower payoff difference = fairer assignment.")
-	fmt.Println("The game-theoretic methods (FGT, IEGT) trade a little average")
-	fmt.Println("payoff for much lower inequality between workers.")
+	fmt.Fprintln(out, "\nLower payoff difference = fairer assignment.")
+	fmt.Fprintln(out, "The game-theoretic methods (FGT, IEGT) trade a little average")
+	fmt.Fprintln(out, "payoff for much lower inequality between workers.")
+	return nil
 }

@@ -161,6 +161,14 @@ type (
 	// for Options.Degrade: per-rung wall-clock budgets and the sampled
 	// rungs' candidate generation.
 	DegradeOptions = platform.Degrade
+	// SolvePool is a shared long-lived worker pool for the batch throughput
+	// mode: per-center solves of many concurrent assignments run on one
+	// fixed set of goroutines (Options.Pool). Build with NewSolvePool.
+	SolvePool = platform.Pool
+	// ParallelMetrics bundles the fta_parallel_* instruments of the batch
+	// throughput layer; build with NewParallelMetrics and pass to
+	// NewSolvePool.
+	ParallelMetrics = obs.ParallelMetrics
 	// RetryPolicy configures Options.Retry: capped exponential backoff with
 	// deterministic seeded jitter around each per-center solve attempt.
 	RetryPolicy = fault.RetryPolicy
@@ -197,6 +205,24 @@ const (
 // failpoint injects; classify solve errors from chaos runs with
 // errors.Is(err, ErrFaultInjected). See docs/RESILIENCE.md.
 var ErrFaultInjected = fault.ErrInjected
+
+// NoEpsilon selects the strict best response in Options.EpsilonUtility: a
+// worker switches on any utility gain, however small. The zero value keeps
+// the numerical default threshold, so "exactly zero" needs this sentinel.
+const NoEpsilon = game.NoEpsilon
+
+// NewSolvePool starts a shared solve pool with the given worker count
+// (size <= 0 means runtime.GOMAXPROCS(0)); metrics may be nil. Pass the
+// pool via Options.Pool on every solve and Close it at shutdown.
+func NewSolvePool(size int, metrics *ParallelMetrics) *SolvePool {
+	return platform.NewPool(size, metrics)
+}
+
+// NewParallelMetrics registers the fta_parallel_* instrument families on
+// the registry for a SolvePool's telemetry.
+func NewParallelMetrics(reg *MetricsRegistry) *ParallelMetrics {
+	return obs.NewParallelMetrics(reg)
+}
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -304,7 +330,7 @@ type Options struct {
 	// UsePriorities enables the priority-aware IAU extension in FGT.
 	UsePriorities bool
 	// EpsilonUtility is FGT's early-termination threshold on utility gains
-	// (0 = numerical default).
+	// (0 = numerical default; NoEpsilon = strict best response).
 	EpsilonUtility float64
 	// RandomOrder shuffles FGT's best-response visiting order each round
 	// (default: fixed round-robin, as in the paper).
@@ -316,7 +342,22 @@ type Options struct {
 	MPTATopK       int
 	MPTANodeBudget int
 	// Parallelism bounds concurrent per-center solves in SolveProblem.
+	// Ignored when Pool is set.
 	Parallelism int
+	// SweepParallel sets the goroutine count for the deterministic
+	// speculative best-response sweep inside a single FGT/IEGT solve:
+	// quiescing rounds evaluate workers concurrently against the frozen
+	// pre-round state and commit sequentially in the fixed visiting order,
+	// keeping results bit-identical to the sequential sweep for the same
+	// seed at any GOMAXPROCS. 0 or 1 disables. Distinct from Parallelism,
+	// which fans whole centers out across goroutines.
+	SweepParallel int
+	// Pool runs per-center solves on a shared long-lived worker pool — the
+	// batch throughput mode for serving many independent assignments
+	// concurrently without per-solve goroutine churn. Build one with
+	// NewSolvePool at startup and Close it at shutdown. Nil keeps the
+	// per-call fan-out bounded by Parallelism.
+	Pool *SolvePool
 	// Recorder receives telemetry from candidate generation, game
 	// iterations, and solves. Nil (the default) disables telemetry with no
 	// measurable overhead.
@@ -374,6 +415,7 @@ func (a fgtAssigner) Assign(ctx context.Context, g *vdps.Generator) (*game.Resul
 		MaxIterations:  a.opt.MaxIterations,
 		Seed:           a.opt.Seed,
 		EpsilonUtility: a.opt.EpsilonUtility,
+		Parallel:       a.opt.SweepParallel,
 		UsePriorities:  a.opt.UsePriorities,
 		Trace:          a.opt.Trace,
 		RandomOrder:    a.opt.RandomOrder,
@@ -392,6 +434,7 @@ func (a iegtAssigner) Assign(ctx context.Context, g *vdps.Generator) (*game.Resu
 	return evo.IEGT(ctx, g, evo.Options{
 		MaxIterations: a.opt.MaxIterations,
 		Seed:          a.opt.Seed,
+		Parallel:      a.opt.SweepParallel,
 		Trace:         a.opt.Trace,
 		MutationRate:  a.opt.MutationRate,
 		Recorder:      a.opt.Recorder,
@@ -429,6 +472,7 @@ func platformOptions(opt Options) platform.Options {
 	popt := platform.Options{
 		VDPS:        opt.VDPS,
 		Parallelism: opt.Parallelism,
+		Pool:        opt.Pool,
 		Recorder:    opt.Recorder,
 		Retry:       opt.Retry,
 		Degrade:     opt.Degrade,

@@ -136,13 +136,15 @@ type Options struct {
 	Fairness fairness.Params
 	// EpsilonUtility is the utility-gain threshold below which a deviation
 	// does not refute the FGT equilibrium; it must be at least the solver's
-	// own threshold. Zero means 1e-9.
+	// own threshold. Zero means the numerical default of 1e-9; any negative
+	// value demands a strict equilibrium (see game.NEOptions.Tol).
 	EpsilonUtility float64
 	// UsePriorities switches the FGT certificate to the priority-aware IAU,
 	// reading priorities from the instance (it must match the solve).
 	UsePriorities bool
 	// Tolerance is the relative tolerance for the summary comparison.
-	// Zero means 1e-6.
+	// Zero means the numerical default of 1e-6; any negative value demands
+	// bit-exact summaries, which the zero value cannot express.
 	Tolerance float64
 	// Algorithm is the name of the solver that produced the assignment
 	// ("FGT", "IEGT", ...). Only FGT and IEGT have equilibrium
@@ -161,7 +163,9 @@ type Options struct {
 // the downstream checks.
 func Run(in *model.Instance, a *model.Assignment, sum *payoff.Summary, opt Options) *Report {
 	r := &Report{}
-	if opt.Tolerance <= 0 {
+	if opt.Tolerance < 0 {
+		opt.Tolerance = 0 // bit-exact summary comparison
+	} else if opt.Tolerance == 0 {
 		opt.Tolerance = 1e-6
 	}
 

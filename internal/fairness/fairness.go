@@ -11,6 +11,8 @@
 //	LP_i  = sum over j with P_i > P_j of (P_i - P_j)
 package fairness
 
+import "math"
+
 // Params hold the inequity-aversion weights. The paper's experiments set
 // both to 0.5 so envy (MP) and guilt (LP) weigh equally.
 type Params struct {
@@ -88,10 +90,13 @@ func Potential(p Params, payoffs []float64) float64 {
 }
 
 // NormalizedPayoff returns the priority-normalized payoff the priority-aware
-// IAU compares workers by: payoff / priority, with non-positive priorities
-// treated as 1.
+// IAU compares workers by: payoff / priority, with non-positive (or NaN)
+// priorities treated as 1. The NaN guard keeps the zero-payoff identity
+// NormalizedPayoff(0, pr) == 0 that the game package's index construction
+// relies on — NaN <= 0 is false, so without it a NaN priority would turn a
+// zero payoff into a NaN normalized value.
 func NormalizedPayoff(payoff, priority float64) float64 {
-	if priority <= 0 {
+	if priority <= 0 || math.IsNaN(priority) {
 		priority = 1
 	}
 	return payoff / priority

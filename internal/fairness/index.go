@@ -42,6 +42,15 @@ import (
 // payoffs in ascending order and subtracts count*p once). Differential tests
 // in this package bound that divergence and the game/evo packages pin solver
 // decisions bit-exactly against the retained reference implementations.
+//
+// Concurrency: the query methods — Utility, Inequity, CurrentUtility,
+// Payoff, Potential, All, Workers — are pure reads and safe to call from
+// any number of goroutines concurrently, as long as no Update runs at the
+// same time. Update mutates the multiset and must be externally serialized
+// against both other updates and all queries. The game and evo solvers'
+// parallel speculative sweeps rely on exactly this contract: concurrent
+// read-only queries against a frozen index, updates only in the sequential
+// commit phase.
 type Index struct {
 	prm Params
 	// priorities holds the raw worker priorities for the priority-aware

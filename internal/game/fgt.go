@@ -25,8 +25,18 @@ type Options struct {
 	Seed int64
 	// EpsilonUtility implements the paper's future-work early termination:
 	// a worker only switches when the utility gain exceeds this threshold.
-	// Zero means the numerical default of 1e-12.
+	// Zero means the numerical default of 1e-12; any negative value (use
+	// the NoEpsilon constant) selects the strict best response with no
+	// threshold at all, which the zero value cannot express.
 	EpsilonUtility float64
+	// Parallel sets the goroutine count for the deterministic speculative
+	// best-response sweep: quiescing rounds evaluate workers concurrently
+	// against the frozen pre-round state and commit sequentially in the
+	// fixed visiting order, re-evaluating every worker after the round's
+	// first commit (a switch changes the owner table and payoff multiset,
+	// both best-response inputs). Results are bit-identical to the
+	// sequential sweep and independent of GOMAXPROCS. 0 or 1 disables.
+	Parallel int
 	// UsePriorities switches the utility to the priority-aware IAU
 	// extension, reading worker priorities from the instance.
 	UsePriorities bool
@@ -42,6 +52,12 @@ type Options struct {
 	Recorder obs.Recorder
 }
 
+// NoEpsilon selects the strict best response in Options.EpsilonUtility: a
+// worker switches on any utility gain, however small. The zero value keeps
+// the numerical default threshold, so "exactly zero" needs this sentinel
+// (any negative value works; the constant names the intent).
+const NoEpsilon = -1
+
 func (o Options) withDefaults() Options {
 	if o.Fairness == (fairness.Params{}) {
 		o.Fairness = fairness.DefaultParams()
@@ -49,7 +65,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 200
 	}
-	if o.EpsilonUtility <= 0 {
+	if o.EpsilonUtility < 0 {
+		o.EpsilonUtility = 0 // NoEpsilon: strict best response
+	} else if o.EpsilonUtility == 0 {
 		o.EpsilonUtility = 1e-12
 	}
 	return o
@@ -157,6 +175,8 @@ func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span) (*Result,
 	// response at the new version.
 	version := 0
 	cleanAt := make([]int, len(s.Current))
+	sw := newSweeper(len(s.Current), opt.Parallel)
+	prevChanges := len(s.Current) // assume a busy first round: no speculation
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -170,12 +190,42 @@ func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span) (*Result,
 		if opt.RandomOrder {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
-		changes := 0
+		// Speculative parallel phase: when the previous round was quiet
+		// enough for speculation to likely survive the commit loop, evaluate
+		// every non-clean worker's best response concurrently against the
+		// frozen pre-round state. The choice to speculate is pure
+		// optimization — both paths commit identical switches — so the
+		// heuristic cannot affect results, only wasted work.
+		spec := sw.speculate(prevChanges)
+		if spec {
+			roundV := version
+			sw.run(order, func(w int) bool { return cleanAt[w] != roundV+1 }, func(w int) {
+				sw.best[w], sw.ok[w] = bestResponse(s, idx, w, opt)
+			})
+		}
+		roundStart := version
+		changes, reeval := 0, 0
 		for _, w := range order {
 			if cleanAt[w] == version+1 {
 				continue
 			}
-			if best, ok := bestResponse(s, idx, w, opt); ok && best != s.Current[w] {
+			var best int
+			var ok bool
+			if spec && version == roundStart {
+				// No commit yet this round: the live state is bit-identical
+				// to the snapshot phase A evaluated against.
+				best, ok = sw.best[w], sw.ok[w]
+			} else {
+				// An earlier commit changed the owner table and the payoff
+				// multiset — both inputs of w's best response — so the
+				// speculative proposal is stale; re-evaluate live, exactly
+				// as the sequential sweep would.
+				best, ok = bestResponse(s, idx, w, opt)
+				if spec {
+					reeval++
+				}
+			}
+			if ok && best != s.Current[w] {
 				s.Switch(w, best)
 				idx.Update(w, s.Payoffs[w])
 				if tracker != nil {
@@ -186,6 +236,11 @@ func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span) (*Result,
 			}
 			cleanAt[w] = version + 1
 		}
+		if spec {
+			rsp.SetAttrInt("spec", sw.evaluated)
+			rsp.SetAttrInt("reeval", reeval)
+		}
+		prevChanges = changes
 		res.Iterations = iter
 		if tracker != nil {
 			diff, avg := tracker.DiffAvg()

@@ -1,0 +1,120 @@
+package game
+
+import "sync"
+
+// sweeper runs the speculative phase of the deterministic parallel
+// best-response sweep. Each round it can evaluate every non-clean worker's
+// best response concurrently against the frozen pre-round state (phase A);
+// the solver then commits switches sequentially in the fixed visiting order
+// (phase B), consuming a speculative proposal only while no commit has
+// happened yet in the round — the live state is then still bit-identical to
+// the snapshot phase A read. After the round's first commit, every later
+// worker's inputs (owner table, payoff multiset) may have changed, so phase
+// B re-evaluates them live, exactly as the sequential sweep would. The
+// parallel phase only ever reads shared solver state and writes per-worker
+// proposal slots, so its results — and the committed trajectory — are
+// independent of goroutine scheduling and GOMAXPROCS.
+type sweeper struct {
+	parallel int
+	// best[w], ok[w] hold worker w's phase-A proposal; stale entries are
+	// never read because phase B stops consuming proposals at the round's
+	// first commit.
+	best []int
+	ok   []bool
+	// evaluated is the number of workers phase A evaluated in the last run.
+	evaluated int
+}
+
+// newSweeper sizes a sweeper for n workers and the configured goroutine
+// count. parallel <= 1 yields an inert sweeper that never speculates and
+// allocates nothing.
+func newSweeper(n, parallel int) *sweeper {
+	if parallel <= 1 {
+		return &sweeper{parallel: 1}
+	}
+	return &sweeper{
+		parallel: parallel,
+		best:     make([]int, n),
+		ok:       make([]bool, n),
+	}
+}
+
+// speculate reports whether the coming round should run the parallel phase.
+func (sw *sweeper) speculate(prevChanges int) bool {
+	return sw.parallel > 1 && ShouldSpeculate(prevChanges, len(sw.best))
+}
+
+// run evaluates the phase-A proposals for the round.
+func (sw *sweeper) run(order []int, include func(int) bool, eval func(int)) {
+	sw.evaluated = ParallelSweep(sw.parallel, order, include, eval)
+}
+
+// ShouldSpeculate is the round-level heuristic shared by the FGT and IEGT
+// parallel sweeps: a commit invalidates every later proposal, so speculation
+// only pays in quiescing rounds, and the heuristic requires the previous
+// round to have switched at most half the workers. A mispredicted round
+// costs at most the parallel phase's wall time — one sequential round's
+// work divided by the goroutine count — while a correct prediction
+// parallelizes the whole sweep (the zero-change confirmation sweep every
+// converging run ends with is the canonical win), so the threshold errs
+// loose. The choice is pure optimization — speculative and live evaluations
+// commit identical switches — so it cannot affect results, only wasted work.
+func ShouldSpeculate(prevChanges, workers int) bool {
+	return prevChanges*2 <= workers
+}
+
+// ParallelSweep evaluates eval(w) for every worker w in order with
+// include(w) true, sharding order contiguously across parallel goroutines,
+// and returns the number of workers evaluated. eval must only read shared
+// state and write w's own proposal slots; include must be a pure read.
+// Shards write disjoint slots, so the outcome is independent of scheduling
+// and GOMAXPROCS. parallel <= 1 runs inline on the calling goroutine.
+// Exported for the evo package, whose selection sweep shares the same
+// speculate/commit structure.
+func ParallelSweep(parallel int, order []int, include func(int) bool, eval func(int)) int {
+	par := parallel
+	if par > len(order) {
+		par = len(order)
+	}
+	if par <= 1 {
+		n := 0
+		for _, w := range order {
+			if include(w) {
+				eval(w)
+				n++
+			}
+		}
+		return n
+	}
+	counts := make([]int, par)
+	chunk := (len(order) + par - 1) / par
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g int, shard []int) {
+			defer wg.Done()
+			n := 0
+			for _, w := range shard {
+				if include(w) {
+					eval(w)
+					n++
+				}
+			}
+			counts[g] = n
+		}(g, order[lo:hi])
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -59,7 +59,9 @@ type NEOptions struct {
 	Fairness fairness.Params
 	// Tol is the utility-gain threshold below which a deviation does not
 	// refute the equilibrium. It should be at least the solver's
-	// EpsilonUtility. Zero means 1e-9.
+	// EpsilonUtility. Zero means the numerical default of 1e-9; any
+	// negative value demands a strict equilibrium where any improving
+	// deviation refutes, which the zero value cannot express.
 	Tol float64
 	// Priorities switches the certificate to the priority-aware IAU
 	// extension; it must match the priorities the solve used (one entry per
@@ -86,7 +88,9 @@ func VerifyNEOpts(g *vdps.Generator, a *model.Assignment, opt NEOptions) error {
 		prm = fairness.DefaultParams()
 	}
 	tol := opt.Tol
-	if tol <= 0 {
+	if tol < 0 {
+		tol = 0 // strict certificate: any improving deviation refutes
+	} else if tol == 0 {
 		tol = 1e-9
 	}
 	s := NewState(g)

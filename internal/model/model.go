@@ -87,9 +87,11 @@ type Worker struct {
 	Speed float64
 }
 
-// EffectivePriority returns the worker's priority, defaulting to 1.
+// EffectivePriority returns the worker's priority, defaulting to 1 for
+// non-positive (or NaN) values, matching fairness.NormalizedPayoff's
+// treatment so both layers agree on the effective priority.
 func (w *Worker) EffectivePriority() float64 {
-	if w.Priority <= 0 {
+	if w.Priority <= 0 || math.IsNaN(w.Priority) {
 		return 1
 	}
 	return w.Priority

@@ -1,0 +1,43 @@
+package obs
+
+// ParallelMetrics bundles the instruments of the batch throughput layer
+// (internal/platform's shared solve pool): pool sizing, per-task queue and
+// run latencies, and batch/task counters. A nil *ParallelMetrics disables
+// the telemetry entirely. See docs/PERFORMANCE.md.
+type ParallelMetrics struct {
+	reg *Registry
+
+	// PoolWorkers is the shared pool's worker-goroutine count
+	// (fta_parallel_pool_workers).
+	PoolWorkers *Gauge
+	// Tasks counts solve tasks executed on the pool
+	// (fta_parallel_tasks_total); Batches counts whole multi-center
+	// assignments served by it (fta_parallel_batches_total).
+	Tasks, Batches *Counter
+	// QueueSeconds observes how long each task waited between submission
+	// and a worker picking it up; TaskSeconds the task's own run time.
+	QueueSeconds, TaskSeconds *Histogram
+}
+
+// NewParallelMetrics registers the fta_parallel_* families on the registry
+// and returns the bundle. Safe to call more than once on the same registry
+// via its first-registration semantics.
+func NewParallelMetrics(reg *Registry) *ParallelMetrics {
+	return &ParallelMetrics{
+		reg: reg,
+		PoolWorkers: reg.Gauge("fta_parallel_pool_workers",
+			"Worker goroutines in the shared solve pool."),
+		Tasks: reg.Counter("fta_parallel_tasks_total",
+			"Solve tasks executed on the shared pool."),
+		Batches: reg.Counter("fta_parallel_batches_total",
+			"Multi-center assignments served by the shared pool."),
+		QueueSeconds: reg.Histogram("fta_parallel_queue_seconds",
+			"Time solve tasks spent queued before a pool worker picked them up.",
+			DefBuckets),
+		TaskSeconds: reg.Histogram("fta_parallel_task_seconds",
+			"Run time of solve tasks on the shared pool.", DefBuckets),
+	}
+}
+
+// Registry returns the registry the metrics write into.
+func (m *ParallelMetrics) Registry() *Registry { return m.reg }

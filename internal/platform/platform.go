@@ -29,8 +29,14 @@ type Options struct {
 	// VDPS configures candidate generation per center.
 	VDPS vdps.Options
 	// Parallelism bounds concurrent per-center solves. Zero means
-	// runtime.GOMAXPROCS(0).
+	// runtime.GOMAXPROCS(0). Ignored when Pool is set.
 	Parallelism int
+	// Pool, when set, runs per-center solves on the shared long-lived
+	// worker pool instead of per-call goroutines — the batch throughput
+	// mode for serving many independent assignments concurrently. The
+	// pool's size replaces Parallelism; result aggregation is unchanged
+	// and stays in center order, so results are identical either way.
+	Pool *Pool
 	// Recorder receives one obs.SolveEvent per center and one
 	// obs.AssignEvent for the whole assignment; it is also threaded into
 	// VDPS generation when VDPS.Recorder is unset. Nil disables telemetry.
@@ -116,7 +122,9 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 		return nil, ErrNoInstances
 	}
 	par := opt.Parallelism
-	if par <= 0 {
+	if opt.Pool != nil {
+		par = opt.Pool.Size()
+	} else if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	ctx, asp := obs.StartSpan(ctx, "assign")
@@ -128,7 +136,12 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 	if opt.Audit != nil {
 		res.Audit = make([]*audit.Report, len(p.Instances))
 	}
-	sem := make(chan struct{}, par)
+	var sem chan struct{}
+	if opt.Pool == nil {
+		sem = make(chan struct{}, par)
+	} else {
+		opt.Pool.batchStarted()
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -151,11 +164,9 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 			}
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		i := i
+		solveCenter := func() {
 			defer wg.Done()
-			defer func() { <-sem }()
 			csp := asp.Child("center.solve")
 			csp.SetAttrInt("center", p.Instances[i].CenterID)
 			defer csp.End()
@@ -172,7 +183,20 @@ func AssignContext(ctx context.Context, p *model.Problem, solver assign.Assigner
 			if res.Audit != nil {
 				res.Audit[i] = rep
 			}
-		}(i)
+		}
+		wg.Add(1)
+		if opt.Pool != nil {
+			// Submit blocks while the shared queue is full, throttling
+			// concurrent batches against each other instead of spawning
+			// one goroutine per center.
+			opt.Pool.Submit(solveCenter)
+			continue
+		}
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			solveCenter()
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -1,0 +1,110 @@
+package platform
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"fairtask/internal/obs"
+)
+
+// Pool is a shared, long-lived worker pool for the batch throughput mode:
+// many independent multi-center assignments (and their per-center solves)
+// are packed onto one fixed set of goroutines instead of each AssignContext
+// call spinning up its own semaphore-bounded fan-out. A serving process
+// creates one Pool at startup, passes it via Options.Pool on every solve,
+// and closes it at shutdown — per-solve goroutine churn and oversubscription
+// across concurrent requests disappear, which is where the multi-core
+// throughput win on many small instances comes from (see
+// docs/PERFORMANCE.md).
+//
+// Submit never runs the task inline and blocks while the queue is full.
+// Pool tasks must therefore never Submit themselves (the platform's solve
+// tasks do not), or a full queue could deadlock.
+type Pool struct {
+	tasks   chan poolTask
+	wg      sync.WaitGroup
+	size    int
+	metrics *obs.ParallelMetrics
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolTask struct {
+	fn       func()
+	enqueued time.Time
+}
+
+// NewPool starts a pool with the given number of worker goroutines; size <= 0
+// means runtime.GOMAXPROCS(0). metrics (nil to disable) receives the
+// fta_parallel_* pool telemetry.
+func NewPool(size int, metrics *obs.ParallelMetrics) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		// A few queued tasks per worker keep the pool busy across batch
+		// boundaries without letting one huge batch hog unbounded memory.
+		tasks:   make(chan poolTask, 4*size),
+		size:    size,
+		metrics: metrics,
+	}
+	if metrics != nil {
+		metrics.PoolWorkers.Set(float64(size))
+	}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		start := time.Now()
+		// Tasks counts at dequeue, not completion: a task may unblock its
+		// batch (wg.Done inside fn), and the batch's caller must be able to
+		// read a settled counter the moment its last task returns.
+		if m := p.metrics; m != nil {
+			m.QueueSeconds.Observe(start.Sub(t.enqueued).Seconds())
+			m.Tasks.Inc()
+		}
+		t.fn()
+		if m := p.metrics; m != nil {
+			m.TaskSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+}
+
+// Size returns the pool's worker-goroutine count.
+func (p *Pool) Size() int { return p.size }
+
+// batchStarted records one multi-center assignment served by the pool.
+func (p *Pool) batchStarted() {
+	if p.metrics != nil {
+		p.metrics.Batches.Inc()
+	}
+}
+
+// Submit enqueues fn for execution on a pool worker, blocking while the
+// queue is full. Submitting to a closed pool panics, like sending on a
+// closed channel.
+func (p *Pool) Submit(fn func()) {
+	p.tasks <- poolTask{fn: fn, enqueued: time.Now()}
+}
+
+// Close stops accepting tasks, runs everything already queued and waits for
+// the workers to drain. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

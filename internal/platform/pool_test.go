@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fairtask/internal/assign"
+	"fairtask/internal/dataset"
+	"fairtask/internal/obs"
+)
+
+func TestPoolAssignMatchesDirect(t *testing.T) {
+	p := smallProblem(t, 6)
+	direct, err := Assign(p, assign.GTA{}, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4, nil)
+	defer pool.Close()
+	pooled, err := Assign(p, assign.GTA{}, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct.Difference-pooled.Difference) > 1e-12 ||
+		math.Abs(direct.Average-pooled.Average) > 1e-12 {
+		t.Error("pooled solve changed the aggregate result")
+	}
+	for i := range direct.Payoffs {
+		if direct.Payoffs[i] != pooled.Payoffs[i] {
+			t.Fatalf("worker %d payoff %g pooled, %g direct", i, pooled.Payoffs[i], direct.Payoffs[i])
+		}
+	}
+}
+
+// TestPoolSharedAcrossBatches is the batch throughput mode's core contract:
+// many independent assignments submitted concurrently onto one shared pool
+// must each produce exactly the result a sequential solve would, with no
+// cross-batch interference (run under -race in CI).
+func TestPoolSharedAcrossBatches(t *testing.T) {
+	const batches = 8
+	pool := NewPool(4, nil)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	for b := 0; b < batches; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := dataset.GenerateSYN(dataset.SYNConfig{
+				Seed: int64(b), Centers: 3, Tasks: 45, Workers: 9, DeliveryPoints: 15,
+			})
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			pooled, err := Assign(p, assign.GTA{}, Options{Pool: pool})
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			direct, err := Assign(p, assign.GTA{}, Options{Parallelism: 1})
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			if pooled.Difference != direct.Difference || pooled.Average != direct.Average {
+				errs[b] = fmt.Errorf("batch %d: pooled (%g, %g), direct (%g, %g)",
+					b, pooled.Difference, pooled.Average, direct.Difference, direct.Average)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewParallelMetrics(reg)
+	pool := NewPool(3, m)
+	defer pool.Close()
+	if pool.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", pool.Size())
+	}
+	p := smallProblem(t, 5)
+	if _, err := Assign(p, assign.GTA{}, Options{Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PoolWorkers.Value(); got != 3 {
+		t.Errorf("fta_parallel_pool_workers = %v, want 3", got)
+	}
+	if got := m.Batches.Value(); got != 1 {
+		t.Errorf("fta_parallel_batches_total = %v, want 1", got)
+	}
+	if got := m.Tasks.Value(); got != 5 {
+		t.Errorf("fta_parallel_tasks_total = %v, want 5 (one per center)", got)
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	pool := NewPool(0, nil)
+	defer pool.Close()
+	if pool.Size() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size() = %d, want GOMAXPROCS %d", pool.Size(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := NewPool(2, nil)
+	pool.Close()
+	pool.Close() // second close must be a no-op, not a panic
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close should panic")
+		}
+	}()
+	pool.Submit(func() {})
+}
+
+// BenchmarkPlatformBatch is the batch throughput benchmark behind
+// BENCH_platform.json: many small independent centers packed onto a shared
+// pool. The pool=1 and pool=4 variants give the multi-core scaling ratio
+// published in docs/PERFORMANCE.md (acceptance: >= 2.5x at 4 workers).
+func BenchmarkPlatformBatch(b *testing.B) {
+	p, err := dataset.GenerateSYN(dataset.SYNConfig{
+		Seed: 42, Centers: 16, Tasks: 480, Workers: 64, DeliveryPoints: 160,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("pool=%d", size), func(b *testing.B) {
+			pool := NewPool(size, nil)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Assign(p, assign.GTA{}, Options{Pool: pool}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSnapshotIsolation pins the aliasing contract of Engine.Snapshot: the
+// returned value must share no backing arrays with the engine's committed
+// state, so a caller may mutate it freely — and the engine may keep applying
+// deltas — without either side observing the other. Run under -race in CI:
+// a shallow snapshot turns the concurrent ApplyAll below into a data race.
+func TestSnapshotIsolation(t *testing.T) {
+	in := gmInstance(t, 11, 30, 8, 12)
+	eng, err := New(context.Background(), in, Options{VDPS: testVDPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testStream(t, in, 11)
+	mid := len(ds) / 2
+	if _, err := eng.ApplyAll(context.Background(), ds[:mid]); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.Snapshot()
+	// Mutate every reachable slice in the snapshot while the engine applies
+	// the rest of the stream concurrently. Under -race, any shared backing
+	// array between snapshot and engine state is reported here.
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.ApplyAll(context.Background(), ds[mid:])
+		done <- err
+	}()
+	for i := range snap.Summary.Payoffs {
+		snap.Summary.Payoffs[i] = -1
+	}
+	for w := range snap.Assignment.Routes {
+		for i := range snap.Assignment.Routes[w] {
+			snap.Assignment.Routes[w][i] = -1
+		}
+	}
+	for i := range snap.Instance.Workers {
+		snap.Instance.Workers[i].MaxDP = 99
+	}
+	for i := range snap.Instance.Points {
+		snap.Instance.Points[i].ID = -1
+		for j := range snap.Instance.Points[i].Tasks {
+			snap.Instance.Points[i].Tasks[j].Reward = -1
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The mutations above must not have leaked into the engine: a fresh
+	// snapshot still matches a cold reference solve of the full stream.
+	replayed := in.Clone()
+	for _, d := range ds {
+		if err := Replay(replayed, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, FGT, 0))
+}
+
+// TestSnapshotAfterMutationStable pins the cheaper direction without
+// concurrency: mutating one snapshot must leave a second snapshot of the
+// same engine untouched.
+func TestSnapshotAfterMutationStable(t *testing.T) {
+	in := gmInstance(t, 5, 24, 6, 10)
+	eng, err := New(context.Background(), in, Options{VDPS: testVDPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := eng.Snapshot()
+	for i := range a.Summary.Payoffs {
+		a.Summary.Payoffs[i] = 1e9
+	}
+	for w := range a.Assignment.Routes {
+		for i := range a.Assignment.Routes[w] {
+			a.Assignment.Routes[w][i] = 1 << 20
+		}
+	}
+	b := eng.Snapshot()
+	for _, p := range b.Summary.Payoffs {
+		if p == 1e9 {
+			t.Fatal("snapshot payoffs share a backing array with the engine")
+		}
+	}
+	for _, r := range b.Assignment.Routes {
+		for _, dp := range r {
+			if dp == 1<<20 {
+				t.Fatal("snapshot routes share a backing array with the engine")
+			}
+		}
+	}
+}
