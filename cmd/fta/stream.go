@@ -21,23 +21,36 @@ import (
 	"fairtask/internal/vdps"
 )
 
+// resolveLatency is the latency distribution of one resolve kind (noop,
+// warm, regen, cold, continuation) in the fta stream report.
+type resolveLatency struct {
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
 // streamReport is the machine-readable summary written by fta stream -json.
 type streamReport struct {
-	Algorithm       string         `json:"algorithm"`
-	Seed            int64          `json:"seed"`
-	Deltas          int            `json:"deltas"`
-	DeltasByKind    map[string]int `json:"deltas_by_kind"`
-	Resolves        map[string]int `json:"resolves"`
-	WarmP50MS       float64        `json:"warm_p50_ms"`
-	WarmP99MS       float64        `json:"warm_p99_ms"`
-	WarmMeanMS      float64        `json:"warm_mean_ms"`
-	ColdMeanMS      float64        `json:"cold_mean_ms"`
-	ColdSamples     int            `json:"cold_samples"`
-	SpeedupX        float64        `json:"speedup_x"`
-	WorkersTouched  float64        `json:"workers_touched_mean"`
-	Workers         int            `json:"workers"`
-	FinalDifference float64        `json:"final_payoff_difference"`
-	FinalAverage    float64        `json:"final_average_payoff"`
+	Algorithm           string                    `json:"algorithm"`
+	Seed                int64                     `json:"seed"`
+	Continue            bool                      `json:"continue"`
+	Deltas              int                       `json:"deltas"`
+	DeltasByKind        map[string]int            `json:"deltas_by_kind"`
+	Resolves            map[string]int            `json:"resolves"`
+	ResolveLatencies    map[string]resolveLatency `json:"resolve_latencies"`
+	WarmP50MS           float64                   `json:"warm_p50_ms"`
+	WarmP99MS           float64                   `json:"warm_p99_ms"`
+	WarmMeanMS          float64                   `json:"warm_mean_ms"`
+	ColdMeanMS          float64                   `json:"cold_mean_ms"`
+	ColdSamples         int                       `json:"cold_samples"`
+	SpeedupX            float64                   `json:"speedup_x"`
+	WorkersTouched      float64                   `json:"workers_touched_mean"`
+	Workers             int                       `json:"workers"`
+	IterationsSaved     int                       `json:"iterations_saved_total"`
+	IterationsSavedMean float64                   `json:"iterations_saved_mean"`
+	FinalDifference     float64                   `json:"final_payoff_difference"`
+	FinalAverage        float64                   `json:"final_average_payoff"`
 }
 
 func cmdStream(args []string) error {
@@ -55,6 +68,7 @@ func cmdStream(args []string) error {
 		workers  = fs.Int("workers", 10, "initial workers |W|")
 		points   = fs.Int("points", 24, "delivery points |DP|")
 		coldN    = fs.Int("cold-every", 0, "cold-solve baseline every N deltas (0 = auto, ~8 samples)")
+		cont     = fs.Bool("continue", false, "seed each resolve from the previous equilibrium (audited, not bit-pinned)")
 		jsonOut  = fs.String("json", "", "write the machine-readable report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +100,7 @@ func cmdStream(args []string) error {
 	opt := stream.Options{
 		Algorithm: stream.Algorithm(*alg),
 		VDPS:      vopt,
+		Continue:  *cont,
 		Metrics:   obs.NewStreamMetrics(reg),
 	}
 	opt.Game.Seed, opt.Evo.Seed = *seed, *seed
@@ -97,14 +112,17 @@ func cmdStream(args []string) error {
 	// Warm pass: every delta through the live engine, one at a time, as an
 	// ingest loop would see them.
 	rep := streamReport{
-		Algorithm:    *alg,
-		Seed:         *seed,
-		Deltas:       len(ds),
-		DeltasByKind: map[string]int{},
-		Resolves:     map[string]int{},
-		Workers:      *workers,
+		Algorithm:        *alg,
+		Seed:             *seed,
+		Continue:         *cont,
+		Deltas:           len(ds),
+		DeltasByKind:     map[string]int{},
+		Resolves:         map[string]int{},
+		ResolveLatencies: map[string]resolveLatency{},
+		Workers:          *workers,
 	}
 	warmNS := make([]float64, 0, len(ds))
+	byKind := map[string][]float64{}
 	var touched int
 	for _, d := range ds {
 		start := time.Now()
@@ -112,9 +130,12 @@ func cmdStream(args []string) error {
 		if err != nil {
 			return fmt.Errorf("delta %d (%s): %w", d.Seq, d.Kind, err)
 		}
-		warmNS = append(warmNS, float64(time.Since(start).Nanoseconds()))
+		ns := float64(time.Since(start).Nanoseconds())
+		warmNS = append(warmNS, ns)
+		byKind[res.Resolve] = append(byKind[res.Resolve], ns)
 		rep.DeltasByKind[string(d.Kind)]++
 		rep.Resolves[res.Resolve]++
+		rep.IterationsSaved += res.IterationsSaved
 		touched += res.WorkersTouched
 	}
 	snap := eng.Snapshot()
@@ -124,6 +145,17 @@ func cmdStream(args []string) error {
 	rep.WorkersTouched = float64(touched) / float64(len(ds))
 	rep.FinalDifference = snap.Summary.Difference
 	rep.FinalAverage = snap.Summary.Average
+	for kind, ns := range byKind {
+		rep.ResolveLatencies[kind] = resolveLatency{
+			Count:  len(ns),
+			P50MS:  percentile(ns, 50) / 1e6,
+			P99MS:  percentile(ns, 99) / 1e6,
+			MeanMS: mean(ns) / 1e6,
+		}
+	}
+	if n := rep.Resolves[stream.ResolveContinuation]; n > 0 {
+		rep.IterationsSavedMean = float64(rep.IterationsSaved) / float64(n)
+	}
 
 	// Cold baseline: re-solve sampled prefixes from scratch, the cost an
 	// engine-less deployment would pay on every delta.
@@ -155,11 +187,16 @@ func cmdStream(args []string) error {
 		fmt.Fprintf(tw, "\t%s=%d", k, rep.DeltasByKind[k])
 	}
 	fmt.Fprintln(tw)
-	fmt.Fprintf(tw, "resolves")
+	fmt.Fprintln(tw, "resolve\tcount\tp50\tp99\tmean")
 	for _, k := range sortedKeys(rep.Resolves) {
-		fmt.Fprintf(tw, "\t%s=%d", k, rep.Resolves[k])
+		lat := rep.ResolveLatencies[k]
+		fmt.Fprintf(tw, "%s\t%d\t%.3fms\t%.3fms\t%.3fms\n",
+			k, lat.Count, lat.P50MS, lat.P99MS, lat.MeanMS)
 	}
-	fmt.Fprintln(tw)
+	if n := rep.Resolves[stream.ResolveContinuation]; n > 0 {
+		fmt.Fprintf(tw, "iterations saved\t%d total\t%.2f/continuation\n",
+			rep.IterationsSaved, rep.IterationsSavedMean)
+	}
 	fmt.Fprintf(tw, "warm apply\tp50 %.3fms\tp99 %.3fms\tmean %.3fms\tworkers touched %.1f/%d\n",
 		rep.WarmP50MS, rep.WarmP99MS, rep.WarmMeanMS, rep.WorkersTouched, rep.Workers)
 	fmt.Fprintf(tw, "cold solve\tmean %.3fms\t(%d samples)\tspeedup %.1fx\n",

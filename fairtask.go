@@ -54,6 +54,7 @@ import (
 	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
 	"fairtask/internal/render"
+	"fairtask/internal/stream"
 	"fairtask/internal/travel"
 	"fairtask/internal/vdps"
 )
@@ -188,6 +189,32 @@ type (
 	Span = obs.Span
 	// SpanRecord is the immutable record of one finished span.
 	SpanRecord = obs.SpanRecord
+	// StreamEngine maintains a standing equilibrium over a single-center
+	// instance under a stream of deltas, repairing its candidate and
+	// strategy structures incrementally instead of re-solving from scratch.
+	// Build with NewStreamEngine; see docs/STREAMING.md.
+	StreamEngine = stream.Engine
+	// StreamOptions configure a StreamEngine: the dynamics replayed per
+	// batch, continuation seeding, the cold-fallback ladder and telemetry.
+	StreamOptions = stream.Options
+	// StreamDelta is one stream event (task arrival/expiry, worker
+	// churn, reprice) with a strictly increasing sequence number.
+	StreamDelta = stream.Delta
+	// StreamDeltaKind discriminates StreamDelta mutations.
+	StreamDeltaKind = stream.Kind
+	// StreamResult reports what one applied batch did to the engine:
+	// resolve path, repair blast radius, committed metrics and — for
+	// continuation resolves — the audit certificate and rounds saved.
+	StreamResult = stream.Result
+	// StreamSnapshot is a self-consistent copy of an engine's committed
+	// state.
+	StreamSnapshot = stream.Snapshot
+	// StreamGenConfig parameterizes GenerateStreamDeltas, the seeded
+	// Poisson delta-stream generator for benchmarks and experiments.
+	StreamGenConfig = stream.StreamConfig
+	// StreamMetrics bundles the fta_stream_* instrument families; build
+	// with NewStreamMetrics and pass via StreamOptions.Metrics.
+	StreamMetrics = obs.StreamMetrics
 )
 
 // Degradation-ladder rung names recorded in Result.Degraded and
@@ -210,6 +237,71 @@ var ErrFaultInjected = fault.ErrInjected
 // worker switches on any utility gain, however small. The zero value keeps
 // the numerical default threshold, so "exactly zero" needs this sentinel.
 const NoEpsilon = game.NoEpsilon
+
+// Stream delta kinds — the wire grammar of the event-ingest API and the
+// values of StreamDelta.Kind.
+const (
+	// StreamTaskArrived adds a task to an existing delivery point.
+	StreamTaskArrived = stream.TaskArrived
+	// StreamTaskExpired removes a task.
+	StreamTaskExpired = stream.TaskExpired
+	// StreamWorkerOnline adds a worker to the roster.
+	StreamWorkerOnline = stream.WorkerOnline
+	// StreamWorkerOffline removes a worker from the roster.
+	StreamWorkerOffline = stream.WorkerOffline
+	// StreamRewardChanged re-prices an existing task.
+	StreamRewardChanged = stream.RewardChanged
+)
+
+// Resolve paths recorded in StreamResult.Resolve: how the engine
+// re-established equilibrium after a batch.
+const (
+	// StreamResolveNoop kept the standing equilibrium untouched.
+	StreamResolveNoop = stream.ResolveNoop
+	// StreamResolveWarm repaired strategy spaces in place and replayed
+	// the dynamics.
+	StreamResolveWarm = stream.ResolveWarm
+	// StreamResolveRegen re-ran (incrementally where possible) the
+	// candidate DP before the replay.
+	StreamResolveRegen = stream.ResolveRegen
+	// StreamResolveCold served the batch by an audited cold solve.
+	StreamResolveCold = stream.ResolveCold
+	// StreamResolveContinuation seeded the dynamics from the previous
+	// equilibrium, certified by a mandatory audit pass.
+	StreamResolveContinuation = stream.ResolveContinuation
+)
+
+// ErrStreamStaleSeq rejects a delta whose sequence number is not strictly
+// greater than the last applied one; classify StreamEngine.Apply errors
+// with errors.Is.
+var ErrStreamStaleSeq = stream.ErrStaleSeq
+
+// NewStreamEngine cold-solves the instance once and returns the streaming
+// engine that keeps its equilibrium standing under deltas. The instance is
+// copied; later mutations of in do not affect the engine.
+func NewStreamEngine(ctx context.Context, in *Instance, opt StreamOptions) (*StreamEngine, error) {
+	return stream.New(ctx, in, opt)
+}
+
+// GenerateStreamDeltas builds a seeded random delta stream (Poisson
+// arrivals, expiries, worker churn, reprices) against the instance, for
+// benchmarks and experiments.
+func GenerateStreamDeltas(in *Instance, cfg StreamGenConfig) ([]StreamDelta, error) {
+	return stream.GenerateStream(in, cfg)
+}
+
+// ReplayStreamDeltas applies the deltas to the instance in order, mutating
+// it in place — the defining semantics of the delta grammar, usable to
+// reconstruct the instance a StreamEngine is standing on.
+func ReplayStreamDeltas(in *Instance, ds ...StreamDelta) error {
+	return stream.Replay(in, ds...)
+}
+
+// NewStreamMetrics registers the fta_stream_* instrument families on the
+// registry for a StreamEngine's telemetry.
+func NewStreamMetrics(reg *MetricsRegistry) *StreamMetrics {
+	return obs.NewStreamMetrics(reg)
+}
 
 // NewSolvePool starts a shared solve pool with the given worker count
 // (size <= 0 means runtime.GOMAXPROCS(0)); metrics may be nil. Pass the

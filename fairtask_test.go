@@ -3,6 +3,7 @@ package fairtask_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -389,5 +390,83 @@ func TestSolveProblemContext(t *testing.T) {
 	if _, err := fairtask.SolveProblemContext(context.Background(), p,
 		fairtask.Options{Algorithm: fairtask.AlgGTA}); err != nil {
 		t.Errorf("live context failed: %v", err)
+	}
+}
+
+// TestStreamFacade exercises the public streaming surface end to end:
+// engine construction, a generated delta stream applied through the warm
+// paths, continuation mode with its audit certificate, and the replay
+// helper reconstructing the instance the engine stands on.
+func TestStreamFacade(t *testing.T) {
+	in, err := fairtask.GenerateGM(fairtask.GMConfig{
+		Seed: 9, Tasks: 40, Workers: 6, DeliveryPoints: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := fairtask.GenerateStreamDeltas(in, fairtask.StreamGenConfig{
+		Seed: 9, Duration: 1, RepriceRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("empty generated stream")
+	}
+
+	reg := fairtask.NewMetricsRegistry()
+	opt := fairtask.StreamOptions{Metrics: fairtask.NewStreamMetrics(reg)}
+	opt.VDPS.Epsilon = 1.5
+	opt.Game.Seed = 9
+	eng, err := fairtask.NewStreamEngine(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := in.Clone()
+	for _, d := range ds {
+		res, err := eng.Apply(context.Background(), d)
+		if err != nil {
+			t.Fatalf("seq %d: %v", d.Seq, err)
+		}
+		if res.Resolve == fairtask.StreamResolveCold {
+			t.Fatalf("seq %d fell back to a cold solve", d.Seq)
+		}
+		if err := fairtask.ReplayStreamDeltas(replayed, d); err != nil {
+			t.Fatalf("replay seq %d: %v", d.Seq, err)
+		}
+	}
+	if _, err := eng.Apply(context.Background(), ds[0]); err == nil {
+		t.Fatal("stale sequence accepted")
+	} else if !errors.Is(err, fairtask.ErrStreamStaleSeq) {
+		t.Fatalf("stale sequence error = %v", err)
+	}
+	snap := eng.Snapshot()
+	if snap.Instance.TaskCount() != replayed.TaskCount() {
+		t.Fatalf("replay diverged: engine holds %d tasks, replay %d",
+			snap.Instance.TaskCount(), replayed.TaskCount())
+	}
+
+	// Continuation mode: every non-noop resolve must carry a passing audit.
+	copt := fairtask.StreamOptions{Continue: true}
+	copt.VDPS.Epsilon = 1.5
+	copt.Game.Seed = 9
+	ceng, err := fairtask.NewStreamEngine(context.Background(), in, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		res, err := ceng.Apply(context.Background(), d)
+		if err != nil {
+			t.Fatalf("continuation seq %d: %v", d.Seq, err)
+		}
+		if res.Resolve != fairtask.StreamResolveContinuation {
+			continue
+		}
+		if res.Audit == nil || len(res.Audit.Violations) > 0 {
+			t.Fatalf("continuation seq %d missing passing audit: %+v", d.Seq, res.Audit)
+		}
+		if res.IterationsSaved < 0 {
+			t.Fatalf("continuation seq %d negative IterationsSaved", d.Seq)
+		}
 	}
 }

@@ -92,7 +92,7 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 	opt = opt.withDefaults()
 	bsp := obs.SpanFromContext(ctx).Child("state.build")
 	s := game.NewState(g)
-	return iegtRun(ctx, s, opt, bsp)
+	return iegtRun(ctx, s, opt, bsp, false)
 }
 
 // IEGTFromState runs Algorithm 3 on a prebuilt, unplayed state (fresh from
@@ -103,19 +103,36 @@ func IEGT(ctx context.Context, g *vdps.Generator, opt Options) (*game.Result, er
 func IEGTFromState(ctx context.Context, s *game.State, opt Options) (*game.Result, error) {
 	opt = opt.withDefaults()
 	bsp := obs.SpanFromContext(ctx).Child("state.build")
-	return iegtRun(ctx, s, opt, bsp)
+	return iegtRun(ctx, s, opt, bsp, false)
 }
 
-// iegtRun is the shared core of IEGT and IEGTFromState. bsp is the caller's
-// open state-build span, ended once initialization completes.
-func iegtRun(ctx context.Context, s *game.State, opt Options, bsp *obs.Span) (*game.Result, error) {
+// IEGTFromSeededState runs the selection rounds of Algorithm 3 on a state
+// whose joint strategy has already been played — the streaming engine's
+// continuation mode replays the previous committed equilibrium onto repaired
+// strategy spaces and resumes the evolution from there. The seeded random
+// initialization is skipped, so the result is NOT bit-pinned against
+// IEGT/IEGTFromState on the same generator; callers certify results
+// independently (the streaming engine audits every continuation resolve).
+func IEGTFromSeededState(ctx context.Context, s *game.State, opt Options) (*game.Result, error) {
+	opt = opt.withDefaults()
+	bsp := obs.SpanFromContext(ctx).Child("state.build")
+	return iegtRun(ctx, s, opt, bsp, true)
+}
+
+// iegtRun is the shared core of IEGT, IEGTFromState and IEGTFromSeededState.
+// bsp is the caller's open state-build span, ended once initialization
+// completes; seeded states skip the random initialization and keep their
+// played joint strategy as the evolution's starting population.
+func iegtRun(ctx context.Context, s *game.State, opt Options, bsp *obs.Span, seeded bool) (*game.Result, error) {
 	sp := obs.SpanFromContext(ctx)
 	if len(s.Current) == 0 {
 		bsp.End()
 		return nil, game.ErrNoWorkers
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	s.RandomInit(rng)
+	if !seeded {
+		s.RandomInit(rng)
+	}
 
 	var tracker *game.SummaryTracker
 	if opt.Trace || opt.Recorder != nil {

@@ -120,7 +120,7 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 	sp := obs.SpanFromContext(ctx)
 	bsp := sp.Child("state.build")
 	s := NewState(g)
-	return fgtRun(ctx, s, opt, bsp)
+	return fgtRun(ctx, s, opt, bsp, false)
 }
 
 // FGTFromState runs Algorithm 2 on a prebuilt, unplayed state (fresh from
@@ -132,21 +132,38 @@ func FGT(ctx context.Context, g *vdps.Generator, opt Options) (*Result, error) {
 func FGTFromState(ctx context.Context, s *State, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	bsp := obs.SpanFromContext(ctx).Child("state.build")
-	return fgtRun(ctx, s, opt, bsp)
+	return fgtRun(ctx, s, opt, bsp, false)
 }
 
-// fgtRun is the shared core of FGT and FGTFromState: random singleton
-// initialization, then sequential best-response rounds to a pure Nash
-// equilibrium. bsp is the caller's open state-build span, ended once the
-// index and tracker are up.
-func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span) (*Result, error) {
+// FGTFromSeededState runs the best-response rounds of Algorithm 2 on a state
+// whose joint strategy has already been played — the streaming engine's
+// continuation mode replays the previous committed equilibrium onto repaired
+// strategy spaces and resumes from there. The seeded random initialization
+// is skipped, so the result is NOT bit-pinned against FGT/FGTFromState on
+// the same generator: different starts can reach different (equally valid)
+// pure Nash equilibria. Callers certify results independently; the streaming
+// engine runs a mandatory internal/audit pass per continuation resolve.
+func FGTFromSeededState(ctx context.Context, s *State, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	bsp := obs.SpanFromContext(ctx).Child("state.build")
+	return fgtRun(ctx, s, opt, bsp, true)
+}
+
+// fgtRun is the shared core of FGT, FGTFromState and FGTFromSeededState:
+// random singleton initialization (skipped for seeded states, which arrive
+// with a played joint strategy), then sequential best-response rounds to a
+// pure Nash equilibrium. bsp is the caller's open state-build span, ended
+// once the index and tracker are up.
+func fgtRun(ctx context.Context, s *State, opt Options, bsp *obs.Span, seeded bool) (*Result, error) {
 	sp := obs.SpanFromContext(ctx)
 	if len(s.Current) == 0 {
 		bsp.End()
 		return nil, ErrNoWorkers
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	s.RandomInit(rng)
+	if !seeded {
+		s.RandomInit(rng)
+	}
 
 	priorities := workerPriorities(s.Instance(), opt.UsePriorities)
 	idx := newUtilityIndex(s, opt.Fairness, priorities)

@@ -65,6 +65,179 @@ func BenchmarkStreamApply(b *testing.B) {
 	b.ReportMetric(float64(touched)/float64(applied), "workers-touched/delta")
 }
 
+// BenchmarkStreamStrategyRepair isolates the warm path's strategy-space
+// maintenance on the reprice-heavy regime: re-keying a worker's cached
+// strategy list in place (vdps.RepairStrategyPayoffs) versus re-enumerating
+// it from the candidate table (vdps.WorkerStrategies), which is what the
+// warm path did before in-place repair existed. Reports speedup-x =
+// mean enumeration / mean repair.
+func BenchmarkStreamStrategyRepair(b *testing.B) {
+	eng, _ := benchSetup(b)
+	gen := eng.gen
+	in := eng.inst
+	var sc vdps.StrategyScratch
+	cached := make([][]vdps.StrategyRef, len(in.Workers))
+	for w := range in.Workers {
+		cached[w] = append([]vdps.StrategyRef(nil), gen.WorkerStrategies(w, &sc)...)
+	}
+	var repairNS, enumNS float64
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-price one point per round, exactly like a RewardChanged delta.
+		p := i % len(in.Points)
+		for t := range in.Points[p].Tasks {
+			in.Points[p].Tasks[t].Reward += 0.25
+		}
+		changed := gen.RepairRewards([]int{p})
+		if len(changed) == 0 {
+			continue
+		}
+		for w := range in.Workers {
+			start := time.Now()
+			gen.RepairStrategyPayoffs(w, cached[w], changed, &sc)
+			repairNS += float64(time.Since(start).Nanoseconds())
+			start = time.Now()
+			want := gen.WorkerStrategies(w, &sc)
+			enumNS += float64(time.Since(start).Nanoseconds())
+			if len(want) != len(cached[w]) {
+				b.Fatal("repair and enumeration disagree")
+			}
+			n++
+		}
+	}
+	b.StopTimer()
+	if n == 0 {
+		b.Skip("no reprice changed a candidate")
+	}
+	b.ReportMetric(repairNS/float64(n), "repair-ns/worker")
+	b.ReportMetric(enumNS/float64(n), "enum-ns/worker")
+	b.ReportMetric(enumNS/repairNS, "speedup-x")
+}
+
+// benchExpirySetup builds the expiry-heavy regime: short-lived arrivals
+// whose deadlines undercut the standing earliest expiries and then expire
+// mid-stream, so most deltas invalidate candidates and route through the
+// regen path. Worker churn stays off: every regen is the incremental repair.
+func benchExpirySetup(b *testing.B) (*Engine, []Delta) {
+	b.Helper()
+	in := gmInstance(b, 7, 360, 8, 120)
+	ds, err := GenerateStream(in, StreamConfig{Seed: 7, Rate: 40, Duration: 1, Lifetime: 0.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ds) == 0 {
+		b.Fatal("empty benchmark stream")
+	}
+	opt := Options{VDPS: benchVDPS()}
+	opt.Game.Seed = 7
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, ds
+}
+
+// BenchmarkStreamIncrementalRegen pins the incremental candidate repair
+// against a full candidate-DP re-run on the same expiry-moving deltas: two
+// engines apply the identical stream, with the second forced to regenerate
+// from scratch (its warm structures marked dirty) exactly at the deltas the
+// first served incrementally. Reports speedup-x = mean full / mean
+// incremental.
+func BenchmarkStreamIncrementalRegen(b *testing.B) {
+	var incNS, fullNS float64
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inc, ds := benchExpirySetup(b)
+		full, _ := benchExpirySetup(b)
+		b.StartTimer()
+		for _, d := range ds {
+			start := time.Now()
+			res, err := inc.Apply(context.Background(), d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if res.Resolve != ResolveRegen {
+				// Keep the twin in lockstep without timing it.
+				if _, err := full.Apply(context.Background(), d); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			incNS += float64(elapsed.Nanoseconds())
+			full.dirty = true // force the full candidate-DP path
+			start = time.Now()
+			fres, err := full.Apply(context.Background(), d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullNS += float64(time.Since(start).Nanoseconds())
+			if fres.Resolve != ResolveRegen {
+				b.Fatalf("forced full regen resolved %q", fres.Resolve)
+			}
+			n++
+		}
+	}
+	b.StopTimer()
+	if n == 0 {
+		b.Fatal("stream produced no regen resolves")
+	}
+	b.ReportMetric(incNS/float64(n), "inc-ns/regen")
+	b.ReportMetric(fullNS/float64(n), "full-ns/regen")
+	b.ReportMetric(fullNS/incNS, "speedup-x")
+}
+
+// BenchmarkStreamContinuation measures continuation-seeded dynamics against
+// the default bit-pinned replay on the reprice-heavy regime: twin engines
+// apply the identical stream, one with Continue on. Reports the per-delta
+// latency of both modes, the dynamics rounds saved per continuation resolve
+// and the fraction of resolves served by a certified continuation.
+func BenchmarkStreamContinuation(b *testing.B) {
+	var contNS, replayNS float64
+	var saved, conts, applied int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		replay, ds := benchSetup(b)
+		in := replay.Snapshot().Instance
+		opt := Options{VDPS: benchVDPS(), Continue: true}
+		opt.Game.Seed = 7
+		cont, err := New(context.Background(), in, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, d := range ds {
+			start := time.Now()
+			res, err := cont.Apply(context.Background(), d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			contNS += float64(time.Since(start).Nanoseconds())
+			if res.Resolve == ResolveContinuation {
+				conts++
+				saved += res.IterationsSaved
+			}
+			start = time.Now()
+			if _, err := replay.Apply(context.Background(), d); err != nil {
+				b.Fatal(err)
+			}
+			replayNS += float64(time.Since(start).Nanoseconds())
+			applied++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(contNS/float64(applied), "cont-ns/delta")
+	b.ReportMetric(replayNS/float64(applied), "replay-ns/delta")
+	if conts > 0 {
+		b.ReportMetric(float64(saved)/float64(conts), "iters-saved/cont")
+	}
+	b.ReportMetric(float64(conts)/float64(applied), "cont-fraction")
+}
+
 // BenchmarkStreamWarmVsCold pins the tentpole claim: applying a delta to the
 // warm engine versus cold-solving the mutated instance from scratch, on the
 // same delta sequence. Reports speedup-x = mean cold / mean warm.

@@ -152,11 +152,11 @@ func (pl *repairPlan) touch(in *model.Instance, p int) {
 
 // diff compares the touched points' signatures against the staged instance:
 // rewardPoints lists (ascending) the points whose total reward changed
-// bitwise, and expiryChanged reports whether any point's earliest expiry
-// changed bitwise — the condition that invalidates the candidate DP.
-func (pl *repairPlan) diff(in *model.Instance) (rewardPoints []int, expiryChanged bool) {
+// bitwise, and expiryPoints those whose earliest expiry changed bitwise —
+// the points whose candidates the DP must regenerate (vdps.RepairExpiries).
+func (pl *repairPlan) diff(in *model.Instance) (rewardPoints, expiryPoints []int) {
 	if len(pl.base) == 0 {
-		return nil, false
+		return nil, nil
 	}
 	pts := make([]int, 0, len(pl.base))
 	for p := range pl.base {
@@ -166,13 +166,13 @@ func (pl *repairPlan) diff(in *model.Instance) (rewardPoints []int, expiryChange
 	for _, p := range pts {
 		sig := pl.base[p]
 		if in.Points[p].EarliestExpiry() != sig.expiry {
-			expiryChanged = true
+			expiryPoints = append(expiryPoints, p)
 		}
 		if in.Points[p].TotalReward() != sig.reward {
 			rewardPoints = append(rewardPoints, p)
 		}
 	}
-	return rewardPoints, expiryChanged
+	return rewardPoints, expiryPoints
 }
 
 // applyDelta mutates in according to d, folding the touched state into the

@@ -42,6 +42,10 @@ const (
 	// ResolveCold: a failpoint or error broke the warm path and the batch
 	// was served by an audited cold solve through the platform ladder.
 	ResolveCold = "cold"
+	// ResolveContinuation: Options.Continue was on and the dynamics were
+	// seeded from the previous committed equilibrium instead of the random
+	// init, certified by a mandatory audit pass instead of bit-pinning.
+	ResolveContinuation = "continuation"
 )
 
 // Options configure a streaming Engine.
@@ -60,6 +64,18 @@ type Options struct {
 	// Evo configures the IEGT dynamics when Algorithm is IEGT, with the
 	// same replay semantics against evo.ReferenceIEGT.
 	Evo evo.Options
+	// Continue seeds each resolve's dynamics from the previous committed
+	// equilibrium instead of the seeded random init, typically converging in
+	// far fewer rounds on small deltas. Continuation results are NOT
+	// bit-pinned against the cold references (a different start can reach a
+	// different, equally valid equilibrium), so every continuation resolve
+	// is certified by a mandatory internal/audit pass — structure,
+	// deadlines, recomputed payoffs/P_dif and the NE/ESS certificate. A
+	// resolve whose audit fails (or that hits the iteration cap) falls back
+	// to the default bit-pinned replay. Default off: the engine then stays
+	// bit-exact against game.ReferenceFGT / evo.ReferenceIEGT. See
+	// docs/STREAMING.md for the contract and when to enable it.
+	Continue bool
 	// Degrade optionally arms the exact→sampled→greedy platform ladder for
 	// cold fallbacks. Nil keeps fallbacks exact-only: a fallback that
 	// cannot solve exactly fails the Apply (without consuming its
@@ -81,22 +97,29 @@ type Result struct {
 	// Applied is the number of deltas in the batch.
 	Applied int
 	// Resolve is the path that re-established equilibrium: ResolveNoop,
-	// ResolveWarm, ResolveRegen or ResolveCold.
+	// ResolveWarm, ResolveRegen, ResolveCold or ResolveContinuation.
 	Resolve string
-	// WorkersTouched counts workers whose strategy spaces were rebuilt or
-	// dropped — the repair blast radius (full roster on regen and cold).
+	// WorkersTouched counts workers whose strategy spaces were rebuilt,
+	// repaired in place or dropped — the repair blast radius. Every path
+	// counts rebuilt plus departed workers identically (full roster plus
+	// departures on a full regen or cold fallback).
 	WorkersTouched int
 	// Summary holds the committed equilibrium's payoff metrics.
 	Summary payoff.Summary
 	// Iterations and Converged report the committed dynamics run.
 	Iterations int
 	Converged  bool
+	// IterationsSaved is, for a continuation resolve, how many dynamics
+	// rounds seeding from the previous equilibrium saved against the most
+	// recent random-init resolve on this engine (never negative); zero on
+	// every other path.
+	IterationsSaved int
 	// Degraded names the ladder rung that served a cold fallback
 	// ("sampled", "greedy"); empty for full-fidelity results.
 	Degraded string
-	// Audit holds the independent invariant report of a cold fallback;
-	// nil on warm paths (warm results are pinned by the differential
-	// tests instead).
+	// Audit holds the independent invariant report of a cold fallback or a
+	// continuation resolve; nil on the bit-pinned paths (those results are
+	// pinned by the differential tests instead).
 	Audit *audit.Report
 	// Elapsed is the wall-clock time of the whole Apply.
 	Elapsed time.Duration
@@ -147,8 +170,11 @@ type Engine struct {
 	// a roster delta that moves it forces a regeneration.
 	maxSize int
 	res     *game.Result
-	lastSeq uint64
-	applied uint64
+	// baseIters is the round count of the most recent random-init resolve,
+	// the baseline continuation resolves report IterationsSaved against.
+	baseIters int
+	lastSeq   uint64
+	applied   uint64
 	// dirty marks the warm structures as diverged from inst (a failure
 	// after in-place generator repair): the next batch regenerates them
 	// before doing anything else.
@@ -182,6 +208,7 @@ func New(ctx context.Context, in *model.Instance, opt Options) (*Engine, error) 
 	e.gen = gen
 	e.strategies = harvestStrategies(e.inst, state)
 	e.res = res
+	e.baseIters = res.Iterations
 	e.maxSize = vdps.EffectiveMaxSize(e.inst, opt.VDPS)
 	if m := opt.Metrics; m != nil {
 		m.Seq.Set(float64(e.lastSeq))
@@ -240,22 +267,28 @@ func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
 	}
 
 	rsp := sp.Child("stream.repair")
-	rewardPoints, expiryChanged := plan.diff(staged)
-	regen := e.dirty || expiryChanged
-	if !regen && plan.workersChanged && vdps.EffectiveMaxSize(staged, e.opt.VDPS) != e.maxSize {
-		regen = true
+	rewardPoints, expiryPoints := plan.diff(staged)
+	full := e.dirty
+	if !full && plan.workersChanged && vdps.EffectiveMaxSize(staged, e.opt.VDPS) != e.maxSize {
+		full = true
 	}
 
 	res := Result{Seq: last, Applied: len(ds)}
+	departed := departedWorkers(e.strategies, staged)
 	var (
 		gen        *vdps.Generator
 		strategies map[int][]vdps.StrategyRef
+		ordered    [][]vdps.StrategyRef
 		state      *game.State
 		mutated    bool
 	)
-	if regen {
+	switch {
+	case full:
+		// Roster-shape change moved the candidate size cap (or a previous
+		// failure left the warm structures dirty): only a full candidate-DP
+		// re-run covers every set size a worker could now ask for.
 		res.Resolve = ResolveRegen
-		res.WorkersTouched = len(staged.Workers)
+		res.WorkersTouched = len(staged.Workers) + departed
 		var err error
 		gen, err = vdps.GenerateContext(ctx, staged, e.opt.VDPS)
 		if err != nil {
@@ -264,22 +297,94 @@ func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
 		}
 		state = game.NewState(gen)
 		strategies = harvestStrategies(staged, state)
-	} else {
+		ordered = state.Strategies
+
+	case len(expiryPoints) > 0:
+		// Incremental regen: a point's earliest expiry moved, invalidating
+		// exactly the candidates containing that point. RepairExpiries
+		// re-runs the DP restricted to those sets and splices the result
+		// into the retained table bit-identically to a full re-run; only
+		// workers referencing a dropped candidate, gaining a regenerated
+		// one, or hit by a reward change get their strategy spaces rebuilt
+		// or repaired — everyone else just has candidate indices remapped.
+		res.Resolve = ResolveRegen
+		gen = e.gen
+		gen.Rebind(staged)
+		if err := fpRepair.Hit(ctx); err != nil {
+			rsp.End()
+			return e.recover(ctx, sp, staged, ds, res, start, fmt.Errorf("stream: repair: %w", err), mutated)
+		}
+		rep, err := gen.RepairExpiries(ctx, expiryPoints)
+		if err != nil {
+			rsp.End()
+			return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
+		}
+		mutated = true
+		rebuild := workersReferencing(e.strategies, rep.Dropped)
+		for id, list := range e.strategies {
+			if rebuild[id] {
+				continue // stale indices; the list is replaced below anyway
+			}
+			for i := range list {
+				list[i].Cand = int32(rep.Remap[list[i].Cand])
+			}
+		}
+		for w := range staged.Workers {
+			id := staged.Workers[w].ID
+			if _, cached := e.strategies[id]; !cached || rebuild[id] {
+				continue
+			}
+			for _, ci := range rep.Fresh {
+				if gen.FeasibleFor(w, ci) {
+					rebuild[id] = true
+					break
+				}
+			}
+		}
+		var repaired map[int]bool
+		var repriced []int
+		if len(rewardPoints) > 0 {
+			if repriced = gen.RepairRewards(rewardPoints); len(repriced) > 0 {
+				repaired = workersReferencing(e.strategies, repriced)
+			}
+		}
+		strategies = make(map[int][]vdps.StrategyRef, len(staged.Workers))
+		ordered = make([][]vdps.StrategyRef, len(staged.Workers))
+		var sc vdps.StrategyScratch
+		for w := range staged.Workers {
+			id := staged.Workers[w].ID
+			s, cached := e.strategies[id]
+			switch {
+			case !cached || rebuild[id]:
+				s = gen.WorkerStrategies(w, &sc)
+				res.WorkersTouched++
+			case repaired[id]:
+				gen.RepairStrategyPayoffs(w, s, repriced, &sc)
+				res.WorkersTouched++
+			}
+			strategies[id], ordered[w] = s, s
+		}
+		res.WorkersTouched += departed
+		state = game.NewStateWithStrategies(gen, ordered)
+
+	default:
 		// Warm repair: rebind the generator to the staged instance, patch
-		// candidate rewards in the cold accumulation order, and rebuild
-		// only the strategy spaces the batch invalidated — new workers and
-		// workers referencing a re-priced candidate. Feasibility is
-		// untouched by reward changes (it depends on expiries, which are
-		// unchanged on this path), so every reused list is bit-identical
-		// to a cold rebuild.
+		// candidate rewards in the cold accumulation order, and repair only
+		// the strategy spaces the batch invalidated — new workers get a
+		// fresh enumeration, workers referencing a re-priced candidate get
+		// their cached lists re-keyed and re-sorted in place. Feasibility
+		// is untouched by reward changes (it depends on expiries, which are
+		// unchanged on this path), so every reused and repaired list is
+		// bit-identical to a cold rebuild.
 		gen = e.gen
 		gen.Rebind(staged)
 		var affected map[int]bool
+		var repriced []int
 		if len(rewardPoints) > 0 {
-			changed := gen.RepairRewards(rewardPoints)
-			if len(changed) > 0 {
+			repriced = gen.RepairRewards(rewardPoints)
+			if len(repriced) > 0 {
 				mutated = true
-				affected = workersReferencing(e.strategies, changed)
+				affected = workersReferencing(e.strategies, repriced)
 			}
 		}
 		if !mutated && !plan.workersChanged {
@@ -295,23 +400,22 @@ func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
 		}
 		res.Resolve = ResolveWarm
 		strategies = make(map[int][]vdps.StrategyRef, len(staged.Workers))
-		ordered := make([][]vdps.StrategyRef, len(staged.Workers))
+		ordered = make([][]vdps.StrategyRef, len(staged.Workers))
 		var sc vdps.StrategyScratch
 		for w := range staged.Workers {
 			id := staged.Workers[w].ID
-			if s, ok := e.strategies[id]; ok && !affected[id] {
-				strategies[id], ordered[w] = s, s
-				continue
+			s, cached := e.strategies[id]
+			switch {
+			case !cached:
+				s = gen.WorkerStrategies(w, &sc)
+				res.WorkersTouched++
+			case affected[id]:
+				gen.RepairStrategyPayoffs(w, s, repriced, &sc)
+				res.WorkersTouched++
 			}
-			l := gen.WorkerStrategies(w, &sc)
-			strategies[id], ordered[w] = l, l
-			res.WorkersTouched++
+			strategies[id], ordered[w] = s, s
 		}
-		for id := range e.strategies {
-			if _, ok := strategies[id]; !ok {
-				res.WorkersTouched++ // departed worker: strategy space dropped
-			}
-		}
+		res.WorkersTouched += departed
 		state = game.NewStateWithStrategies(gen, ordered)
 	}
 	rsp.End()
@@ -322,7 +426,13 @@ func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
 		vsp.End()
 		return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
 	}
-	solved, err := e.runDynamics(ctx, state, staged)
+	var solved *game.Result
+	var err error
+	if e.opt.Continue && len(staged.Workers) > 0 {
+		solved, err = e.continueDynamics(ctx, state, staged, gen, ordered, &res)
+	} else {
+		solved, err = e.runDynamics(ctx, state, staged)
+	}
 	vsp.End()
 	if err != nil {
 		if ctx.Err() != nil {
@@ -334,6 +444,9 @@ func (e *Engine) ApplyAll(ctx context.Context, ds []Delta) (Result, error) {
 		return e.recover(ctx, sp, staged, ds, res, start, err, mutated)
 	}
 	e.commit(staged, gen, strategies, solved, last, len(ds))
+	if res.Resolve != ResolveContinuation {
+		e.baseIters = solved.Iterations
+	}
 	res = e.result(res, start)
 	e.observe(res, ds, time.Since(vstart))
 	return res, nil
@@ -390,8 +503,9 @@ func (e *Engine) recover(ctx context.Context, sp *obs.Span, staged *model.Instan
 		return Result{}, fmt.Errorf("stream: cold fallback (after %v): %w", cause, err)
 	}
 	res.Resolve = ResolveCold
-	res.WorkersTouched = len(staged.Workers)
+	res.WorkersTouched = len(staged.Workers) + departedWorkers(e.strategies, staged)
 	res.Audit = report
+	e.baseIters = solved.Iterations
 	if gen, strategies, err := e.buildCaches(ctx, staged); err == nil {
 		e.commit(staged, gen, strategies, solved, res.Seq, len(ds))
 	} else {
@@ -417,6 +531,109 @@ func (e *Engine) runDynamics(ctx context.Context, s *game.State, in *model.Insta
 		return evo.IEGTFromState(ctx, s, e.opt.Evo)
 	}
 	return game.FGTFromState(ctx, s, e.opt.Game)
+}
+
+// continueDynamics runs the dynamics seeded from the previous committed
+// equilibrium and certifies the converged result with a mandatory audit
+// pass (structure, deadlines, recomputed payoffs, NE/ESS certificate). A
+// run that hits the iteration cap or fails its audit falls back to the
+// default bit-pinned replay on a fresh state — exactly what a Continue-off
+// engine would have run — so continuation can change latency and the
+// reached equilibrium, never correctness.
+func (e *Engine) continueDynamics(ctx context.Context, state *game.State, staged *model.Instance, gen *vdps.Generator, ordered [][]vdps.StrategyRef, res *Result) (*game.Result, error) {
+	e.seedState(state, staged)
+	var solved *game.Result
+	var err error
+	if e.opt.Algorithm == IEGT {
+		solved, err = evo.IEGTFromSeededState(ctx, state, e.opt.Evo)
+	} else {
+		solved, err = game.FGTFromSeededState(ctx, state, e.opt.Game)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if solved.Converged {
+		rep := audit.Run(staged, solved.Assignment, &solved.Summary, audit.Options{
+			Generator:      gen,
+			VDPS:           e.opt.VDPS,
+			Fairness:       e.opt.Game.Fairness,
+			EpsilonUtility: e.opt.Game.EpsilonUtility,
+			UsePriorities:  e.opt.Game.UsePriorities,
+			Algorithm:      string(e.opt.Algorithm),
+			Converged:      solved.Converged,
+		})
+		if rep.OK() {
+			res.Resolve = ResolveContinuation
+			res.Audit = rep
+			if saved := e.baseIters - solved.Iterations; saved > 0 {
+				res.IterationsSaved = saved
+			}
+			return solved, nil
+		}
+	}
+	if m := e.opt.Metrics; m != nil {
+		m.ContinuationFallbacks.Inc()
+	}
+	return e.runDynamics(ctx, game.NewStateWithStrategies(gen, ordered), staged)
+}
+
+// seedState replays the previous committed equilibrium onto a fresh state:
+// every staged worker whose previous route still exists in its (repaired)
+// strategy space — matched by exact visiting sequence — starts there; new
+// workers and workers whose route's candidate is gone start at Null.
+// Previous routes are pairwise disjoint and worker IDs unique, so every
+// matched strategy is available.
+func (e *Engine) seedState(s *game.State, staged *model.Instance) {
+	prev := make(map[int]model.Route, len(e.inst.Workers))
+	for w := range e.inst.Workers {
+		if r := e.res.Assignment.Routes[w]; len(r) > 0 {
+			prev[e.inst.Workers[w].ID] = r
+		}
+	}
+	for w := range staged.Workers {
+		route, ok := prev[staged.Workers[w].ID]
+		if !ok {
+			continue
+		}
+		for si := range s.Strategies[w] {
+			if routesEqual(s.StrategySeq(w, si), route) {
+				if s.Available(w, si) {
+					s.Switch(w, si)
+				}
+				break
+			}
+		}
+	}
+}
+
+// routesEqual reports element-wise route equality.
+func routesEqual(a, b model.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// departedWorkers counts cached workers absent from the staged roster —
+// strategy spaces the batch drops, counted into WorkersTouched on every
+// resolve path.
+func departedWorkers(cache map[int][]vdps.StrategyRef, staged *model.Instance) int {
+	present := make(map[int]bool, len(staged.Workers))
+	for w := range staged.Workers {
+		present[staged.Workers[w].ID] = true
+	}
+	n := 0
+	for id := range cache {
+		if !present[id] {
+			n++
+		}
+	}
+	return n
 }
 
 // buildCaches regenerates the warm structures for an instance without
@@ -470,6 +687,9 @@ func (e *Engine) observe(r Result, ds []Delta, resolve time.Duration) {
 	m.ApplySeconds.Observe(r.Elapsed.Seconds())
 	if r.Resolve != ResolveNoop {
 		m.ResolveSeconds.Observe(resolve.Seconds())
+	}
+	if r.Resolve == ResolveContinuation {
+		m.IterationsSaved.Observe(float64(r.IterationsSaved))
 	}
 	m.WorkersTouched.Observe(float64(r.WorkersTouched))
 	m.Seq.Set(float64(e.lastSeq))

