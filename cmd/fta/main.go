@@ -3,7 +3,7 @@
 // Subcommands:
 //
 //	fta gen   -dataset syn|gm -out problem.csv [size flags]
-//	fta assign -in problem.csv -alg MPTA|GTA|FGT|IEGT [-eps km] [-seed n]
+//	fta assign -in problem.csv -alg MPTA|GTA|FGT|IEGT|MMTA|LEXIFAIR [-eps km] [-seed n]
 //	          [-trace-out trace.jsonl]
 //	fta sweep -fig fig2..fig12 [-scale n] [-gmscale n] [-seed n]
 //	fta sim   -in problem.csv -alg IEGT -epochs n [-dt hours]
@@ -210,7 +210,7 @@ func cmdAssign(args []string) error {
 	fs := flag.NewFlagSet("assign", flag.ContinueOnError)
 	var (
 		in        = fs.String("in", "", "input problem CSV")
-		alg       = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		alg       = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT, MMTA or LEXIFAIR")
 		eps       = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
 		seed      = fs.Int64("seed", 1, "random seed for FGT/IEGT")
 		routes    = fs.String("routes", "", "optional path for a per-stop route CSV export")
@@ -405,7 +405,7 @@ func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "", "input problem CSV")
-		alg      = fs.String("alg", "IEGT", "algorithm: MPTA, GTA, FGT or IEGT")
+		alg      = fs.String("alg", "IEGT", "algorithm: MPTA, GTA, FGT, IEGT, MMTA or LEXIFAIR")
 		epochs   = fs.Int("epochs", 12, "number of assignment rounds")
 		dt       = fs.Float64("dt", 1, "epoch length in hours")
 		eps      = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
@@ -475,7 +475,7 @@ func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
 		in   = fs.String("in", "", "input problem CSV")
-		alg  = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT or MMTA")
+		alg  = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT, MMTA or LEXIFAIR")
 		eps  = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
 		seed = fs.Int64("seed", 1, "random seed for FGT/IEGT")
 	)
@@ -530,7 +530,7 @@ func cmdAudit(args []string) error {
 	var (
 		in     = fs.String("in", "", "input problem CSV")
 		routes = fs.String("routes", "", "route CSV written by \"fta assign -routes\"")
-		alg    = fs.String("alg", "", "algorithm that produced the routes; FGT or IEGT enables the equilibrium check")
+		alg    = fs.String("alg", "", "algorithm that produced the routes; FGT or IEGT enables the equilibrium check, LEXIFAIR the leximin check")
 		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km used for the solve (0 = no pruning)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -664,7 +664,7 @@ func cmdRender(args []string) error {
 	var (
 		in     = fs.String("in", "", "input problem CSV")
 		center = fs.Int("center", -1, "center ID to draw (-1 = first)")
-		alg    = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT or MMTA")
+		alg    = fs.String("alg", "FGT", "algorithm: MPTA, GTA, FGT, IEGT, MMTA or LEXIFAIR")
 		eps    = fs.Float64("eps", 0, "pruning threshold epsilon in km (0 = no pruning)")
 		seed   = fs.Int64("seed", 1, "random seed for FGT/IEGT")
 		out    = fs.String("out", "", "output SVG path (default stdout)")

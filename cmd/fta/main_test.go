@@ -520,3 +520,49 @@ func TestAuditRequiresRoutes(t *testing.T) {
 		t.Error("audit without -routes accepted")
 	}
 }
+
+// The full LEXIFAIR pipeline: assign with route export, then audit the
+// exported routes under the leximin certificate.
+func TestLexifairAssignAndAuditPipeline(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "p.csv")
+	routes := filepath.Join(dir, "routes.csv")
+	if err := run([]string{"gen", "-dataset", "syn", "-seed", "5", "-centers", "2",
+		"-tasks", "40", "-workers", "6", "-points", "10", "-out", csv}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"assign", "-in", csv, "-alg", "LEXIFAIR", "-routes", routes})
+	})
+	if err != nil {
+		t.Fatalf("assign -alg LEXIFAIR: %v", err)
+	}
+	if !strings.Contains(out, "LEXIFAIR") {
+		t.Errorf("assign output does not name the algorithm:\n%s", out)
+	}
+	if _, err := os.Stat(routes); err != nil {
+		t.Fatalf("assign wrote no routes: %v", err)
+	}
+	audit, err := capture(t, func() error {
+		return run([]string{"audit", "-in", csv, "-routes", routes, "-alg", "LEXIFAIR"})
+	})
+	if err != nil {
+		t.Fatalf("audit of LEXIFAIR routes failed: %v\n%s", err, audit)
+	}
+	// The leximin certificate must actually gate: an all-null route set
+	// (header-only CSV) cannot be leximin-optimal here and must fail.
+	emptyRoutes := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(emptyRoutes,
+		[]byte("center,worker,stop,point,arrival,reward,payoff\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"audit", "-in", csv, "-routes", emptyRoutes, "-alg", "LEXIFAIR"})
+	})
+	if err == nil {
+		t.Fatalf("empty assignment passed the LEXIFAIR audit:\n%s", out)
+	}
+	if !strings.Contains(out+err.Error(), "lexifair") {
+		t.Errorf("audit rejection does not mention the lexifair check: %v\n%s", err, out)
+	}
+}

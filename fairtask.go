@@ -390,6 +390,11 @@ const (
 	// AlgMMTA is the max-min fairness extension (not part of the paper's
 	// evaluated set): it heuristically maximizes the minimum worker payoff.
 	AlgMMTA Algorithm = "MMTA"
+	// AlgLexifair is the exact lexicographic-minimax (leximin) extension:
+	// it maximizes the smallest worker payoff, then the second smallest,
+	// and so on — the egalitarian counterpart to the paper's
+	// inequity-aversion game. See docs/ASSIGNERS.md.
+	AlgLexifair Algorithm = "LEXIFAIR"
 )
 
 // Algorithms lists the paper's four evaluated methods in its presentation
@@ -399,9 +404,9 @@ func Algorithms() []Algorithm {
 }
 
 // ExtendedAlgorithms lists every supported method, including the max-min
-// fairness extension.
+// and leximin fairness extensions.
 func ExtendedAlgorithms() []Algorithm {
-	return append(Algorithms(), AlgMMTA)
+	return append(Algorithms(), AlgMMTA, AlgLexifair)
 }
 
 // Options configure Solve and SolveProblem.
@@ -433,6 +438,10 @@ type Options struct {
 	// MPTATopK and MPTANodeBudget tune the MPTA search (0 = defaults).
 	MPTATopK       int
 	MPTANodeBudget int
+	// LexifairNodeBudget caps the LEXIFAIR level search (0 = solver
+	// default); exhausting it degrades to the best bottleneck vector found
+	// and reports Converged = false.
+	LexifairNodeBudget int
 	// Parallelism bounds concurrent per-center solves in SolveProblem.
 	// Ignored when Pool is set.
 	Parallelism int
@@ -456,8 +465,8 @@ type Options struct {
 	Recorder Recorder
 	// Audit re-verifies every produced assignment with the independent
 	// auditor (route structure, deadline feasibility, payoff summary, VDPS
-	// membership and — for converged FGT/IEGT — the equilibrium
-	// certificate). A violation fails the solve with an error wrapping
+	// membership, the equilibrium certificate for converged FGT/IEGT, and
+	// the leximin certificate for converged LEXIFAIR). A violation fails the solve with an error wrapping
 	// *AuditError. The solver's own candidate generator is reused, so the
 	// overhead is one verification pass, not a second generation.
 	Audit bool
@@ -489,6 +498,8 @@ func NewAssigner(opt Options) (Assigner, error) {
 		return iegtAssigner{opt: opt}, nil
 	case AlgMMTA:
 		return assign.MMTA{}, nil
+	case AlgLexifair:
+		return assign.Lexifair{NodeBudget: opt.LexifairNodeBudget}, nil
 	default:
 		return nil, fmt.Errorf("fairtask: unknown algorithm %q", opt.Algorithm)
 	}

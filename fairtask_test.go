@@ -199,7 +199,7 @@ func TestSolveWithEpsilonPruning(t *testing.T) {
 func TestExtendedAlgorithms(t *testing.T) {
 	in := gmInstance(t)
 	algs := fairtask.ExtendedAlgorithms()
-	if len(algs) != 5 || algs[4] != fairtask.AlgMMTA {
+	if len(algs) != 6 || algs[4] != fairtask.AlgMMTA || algs[5] != fairtask.AlgLexifair {
 		t.Fatalf("ExtendedAlgorithms = %v", algs)
 	}
 	res, err := fairtask.Solve(in, fairtask.Options{Algorithm: fairtask.AlgMMTA})
@@ -208,6 +208,25 @@ func TestExtendedAlgorithms(t *testing.T) {
 	}
 	if err := res.Assignment.Validate(in); err != nil {
 		t.Errorf("MMTA via public API invalid: %v", err)
+	}
+}
+
+// LEXIFAIR must work through the public facade with the auditor's leximin
+// certificate enabled — the end-to-end path the CLI and HTTP layers use.
+func TestLexifairPublicSolveWithAudit(t *testing.T) {
+	in := gmInstance(t)
+	res, err := fairtask.Solve(in, fairtask.Options{
+		Algorithm: fairtask.AlgLexifair,
+		Audit:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(in); err != nil {
+		t.Errorf("LEXIFAIR via public API invalid: %v", err)
+	}
+	if res.Summary.Assigned == 0 {
+		t.Error("LEXIFAIR assigned nothing")
 	}
 }
 

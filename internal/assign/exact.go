@@ -21,7 +21,9 @@ import (
 // usable on small instances; its purpose is measuring the optimality gap of
 // the heuristics (see the "optgap" experiment).
 type Exact struct {
-	// Lambda weights the fairness term. Zero means the default of 1.
+	// Lambda weights the fairness term. Zero means the default of 1; a
+	// non-positive value (use the NoLambda constant) drops the fairness
+	// term entirely and maximizes the pure average payoff.
 	Lambda float64
 	// MaxJointStrategies aborts with ErrSearchTooLarge when the product of
 	// per-worker strategy counts exceeds it. Zero means the default of 5e6.
@@ -31,6 +33,12 @@ type Exact struct {
 // ErrSearchTooLarge is returned when the joint strategy space exceeds
 // Exact.MaxJointStrategies.
 var ErrSearchTooLarge = errors.New("assign: joint strategy space too large for exact search")
+
+// NoLambda selects the pure welfare objective in Exact.Lambda: a literal 0
+// cannot mean "no fairness term" because the zero value already selects the
+// default weight of 1 — the same sentinel pattern as game.NoEpsilon and
+// evo.NoTolerance. Any negative value behaves the same.
+const NoLambda = -1
 
 // Score is the scalarized FTA objective Exact maximizes.
 func Score(payoffs []float64, lambda float64) float64 {
@@ -47,7 +55,9 @@ func (e Exact) Assign(ctx context.Context, g *vdps.Generator) (*game.Result, err
 		return nil, game.ErrNoWorkers
 	}
 	lambda := e.Lambda
-	if lambda <= 0 {
+	if lambda < 0 {
+		lambda = 0 // NoLambda: pure average payoff
+	} else if lambda == 0 {
 		lambda = 1
 	}
 	limit := e.MaxJointStrategies

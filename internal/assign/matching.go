@@ -1,0 +1,211 @@
+package assign
+
+import "math"
+
+// This file holds the bipartite matching kernels behind the Lexifair solver:
+// Hopcroft–Karp maximum matching (the feasibility kernel of the threshold
+// search), a plain Kuhn augmenting-path matcher kept as the König/max-flow
+// reference the property tests compare against, and a dense rectangular
+// Hungarian (Jonker–Volgenant-style shortest augmenting paths with
+// potentials) used as the final tie-break kernel. All three operate on
+// left-indexed adjacency lists or dense matrices and know nothing about
+// workers or strategies.
+
+// unmatched marks a vertex with no partner in a matching.
+const unmatched = -1
+
+// hopcroftKarp computes a maximum matching of the bipartite graph with
+// len(adj) left vertices and nRight right vertices, where adj[l] lists the
+// right vertices adjacent to left vertex l. It returns the left-to-right
+// partner table (unmatched entries are -1) and the matching size, in
+// O(E*sqrt(V)) worst case. Deterministic: augmenting paths are explored in
+// adjacency order, so equal inputs produce identical matchings.
+func hopcroftKarp(nRight int, adj [][]int) ([]int, int) {
+	nLeft := len(adj)
+	matchL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	// bfs layers the graph from free left vertices; it reports whether any
+	// augmenting path exists.
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nLeft; l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				nl := matchR[r]
+				if nl == unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs extends an augmenting path from left vertex l along the BFS
+	// layering.
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			nl := matchR[r]
+			if nl == unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < nLeft; l++ {
+			if matchL[l] == unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// kuhnMatch computes the same maximum-matching size with the classic Kuhn
+// augmenting-path algorithm (O(V*E)). It is the independent reference the
+// property tests pin hopcroftKarp against — by König's theorem both equal
+// the max-flow value of the unit-capacity network, so any divergence is a
+// kernel bug.
+func kuhnMatch(nRight int, adj [][]int) int {
+	nLeft := len(adj)
+	matchR := make([]int, nRight)
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	seen := make([]bool, nRight)
+	var try func(l int) bool
+	try = func(l int) bool {
+		for _, r := range adj[l] {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] == unmatched || try(matchR[r]) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < nLeft; l++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		if try(l) {
+			size++
+		}
+	}
+	return size
+}
+
+// hungarianMax solves the dense rectangular assignment problem: given an
+// n×m weight matrix with n <= m, it returns a column for every row
+// maximizing the total weight over all row-perfect matchings, plus that
+// total. It runs the Jonker–Volgenant-style shortest-augmenting-path scheme
+// with dual potentials in O(n^2*m). Forbidden cells should carry a large
+// negative weight; callers must check the result honors them. It returns
+// nil when n > m (no row-perfect matching exists).
+func hungarianMax(weights [][]float64) ([]int, float64) {
+	n := len(weights)
+	if n == 0 {
+		return []int{}, 0
+	}
+	m := len(weights[0])
+	if n > m {
+		return nil, 0
+	}
+
+	// Internally minimize cost = -weight with 1-based arrays; p[j] is the
+	// row matched to column j, p[0] the row currently seeking a column.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = math.Inf(1)
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			j1 := 0
+			delta := math.Inf(1)
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := -weights[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowCol := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			rowCol[p[j]-1] = j - 1
+			total += weights[p[j]-1][j-1]
+		}
+	}
+	return rowCol, total
+}

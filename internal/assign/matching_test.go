@@ -1,0 +1,192 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBipartite draws a random bipartite graph with nLeft/nRight vertices
+// and edge probability pr.
+func randBipartite(rng *rand.Rand, nLeft, nRight int, pr float64) [][]int {
+	adj := make([][]int, nLeft)
+	for l := 0; l < nLeft; l++ {
+		for r := 0; r < nRight; r++ {
+			if rng.Float64() < pr {
+				adj[l] = append(adj[l], r)
+			}
+		}
+	}
+	return adj
+}
+
+// Hopcroft–Karp must agree with the independent Kuhn reference on the
+// maximum matching size (both equal the max-flow value by König's theorem).
+func TestHopcroftKarpMatchesKuhnReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		nLeft := rng.Intn(13)
+		nRight := rng.Intn(13)
+		pr := rng.Float64()
+		adj := randBipartite(rng, nLeft, nRight, pr)
+		_, hk := hopcroftKarp(nRight, adj)
+		kuhn := kuhnMatch(nRight, adj)
+		if hk != kuhn {
+			t.Fatalf("trial %d (%dx%d, p=%.2f): hopcroftKarp size %d, kuhn size %d",
+				trial, nLeft, nRight, pr, hk, kuhn)
+		}
+	}
+}
+
+// The returned partner table must be a valid matching of the reported size:
+// every matched edge exists, and no right vertex is used twice.
+func TestHopcroftKarpWitnessIsValidMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		nLeft := 1 + rng.Intn(10)
+		nRight := 1 + rng.Intn(10)
+		adj := randBipartite(rng, nLeft, nRight, 0.4)
+		matchL, size := hopcroftKarp(nRight, adj)
+		seen := make(map[int]bool)
+		count := 0
+		for l, r := range matchL {
+			if r == unmatched {
+				continue
+			}
+			count++
+			if seen[r] {
+				t.Fatalf("trial %d: right vertex %d matched twice", trial, r)
+			}
+			seen[r] = true
+			found := false
+			for _, cand := range adj[l] {
+				if cand == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: matched edge (%d,%d) not in graph", trial, l, r)
+			}
+		}
+		if count != size {
+			t.Fatalf("trial %d: witness has %d edges, reported size %d", trial, count, size)
+		}
+	}
+}
+
+func TestHopcroftKarpDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj := randBipartite(rng, 9, 9, 0.5)
+	a, _ := hopcroftKarp(9, adj)
+	b, _ := hopcroftKarp(9, adj)
+	for l := range a {
+		if a[l] != b[l] {
+			t.Fatalf("left %d matched to %d then %d on identical input", l, a[l], b[l])
+		}
+	}
+}
+
+// bruteAssignMax maximizes total weight over all injective row->column maps.
+func bruteAssignMax(weights [][]float64) float64 {
+	n := len(weights)
+	if n == 0 {
+		return 0
+	}
+	m := len(weights[0])
+	used := make([]bool, m)
+	best := math.Inf(-1)
+	var rec func(row int, total float64)
+	rec = func(row int, total float64) {
+		if row == n {
+			if total > best {
+				best = total
+			}
+			return
+		}
+		for c := 0; c < m; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			rec(row+1, total+weights[row][c])
+			used[c] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, m)
+		for j := range w[i] {
+			w[i][j] = rng.NormFloat64() * 10
+		}
+	}
+	return w
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		w := randMatrix(rng, n, m)
+		rowCol, total := hungarianMax(w)
+		if rowCol == nil {
+			t.Fatalf("trial %d: nil result for feasible %dx%d", trial, n, m)
+		}
+		check := 0.0
+		seen := make(map[int]bool)
+		for i, j := range rowCol {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("trial %d: invalid column choice %v", trial, rowCol)
+			}
+			seen[j] = true
+			check += w[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %g but edges sum to %g", trial, total, check)
+		}
+		want := bruteAssignMax(w)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian total %g, brute-force optimum %g", trial, total, want)
+		}
+	}
+}
+
+// The optimal assignment value must be invariant under any row and column
+// permutation of the weight matrix.
+func TestHungarianPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		w := randMatrix(rng, n, m)
+		_, total := hungarianMax(w)
+		pr := rng.Perm(n)
+		pc := rng.Perm(m)
+		perm := make([][]float64, n)
+		for i := range perm {
+			perm[i] = make([]float64, m)
+			for j := range perm[i] {
+				perm[i][j] = w[pr[i]][pc[j]]
+			}
+		}
+		_, ptotal := hungarianMax(perm)
+		if math.Abs(total-ptotal) > 1e-9 {
+			t.Fatalf("trial %d: total %g changed to %g under permutation", trial, total, ptotal)
+		}
+	}
+}
+
+func TestHungarianRejectsMoreRowsThanColumns(t *testing.T) {
+	if rowCol, _ := hungarianMax([][]float64{{1}, {2}}); rowCol != nil {
+		t.Fatalf("2x1 matrix returned %v, want nil", rowCol)
+	}
+	if rowCol, total := hungarianMax(nil); rowCol == nil || len(rowCol) != 0 || total != 0 {
+		t.Fatalf("empty matrix returned (%v, %g), want ([], 0)", rowCol, total)
+	}
+}

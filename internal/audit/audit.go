@@ -14,11 +14,13 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"fairtask/internal/assign"
 	"fairtask/internal/evo"
 	"fairtask/internal/fairness"
 	"fairtask/internal/game"
@@ -52,6 +54,11 @@ const (
 	// equilibrium under the IAU utility for FGT, the improved evolutionary
 	// stable state for IEGT.
 	CheckEquilibrium Check = "equilibrium"
+	// CheckLexifair verifies the leximin certificate for LEXIFAIR
+	// assignments: an independent re-solve of every frozen level confirms
+	// that no worker's minimum payoff can be raised without lowering a
+	// poorer worker's.
+	CheckLexifair Check = "lexifair"
 )
 
 // Violation is one broken invariant found by the auditor.
@@ -176,6 +183,9 @@ func Run(in *model.Instance, a *model.Assignment, sum *payoff.Summary, opt Optio
 			len(a.Routes), len(in.Workers)))
 		// Nothing downstream is well-defined without a per-worker route map.
 		r.Skipped = append(r.Skipped, CheckDeadlines, CheckSummary, CheckVDPS, CheckEquilibrium)
+		if opt.Algorithm == "LEXIFAIR" {
+			r.Skipped = append(r.Skipped, CheckLexifair)
+		}
 		return r
 	}
 	routeOK := r.checkStructure(in, a)
@@ -202,6 +212,9 @@ func Run(in *model.Instance, a *model.Assignment, sum *payoff.Summary, opt Optio
 		if err != nil {
 			r.violate(CheckVDPS, -1, "candidate regeneration failed: "+err.Error())
 			r.Skipped = append(r.Skipped, CheckEquilibrium)
+			if opt.Algorithm == "LEXIFAIR" {
+				r.Skipped = append(r.Skipped, CheckLexifair)
+			}
 			return r
 		}
 	}
@@ -215,6 +228,18 @@ func Run(in *model.Instance, a *model.Assignment, sum *payoff.Summary, opt Optio
 		r.checkEquilibrium(in, g, a, opt)
 	} else {
 		r.Skipped = append(r.Skipped, CheckEquilibrium)
+	}
+
+	// Leximin: applicable to LEXIFAIR solves only, and — like the
+	// equilibrium certificates — only meaningful for a converged run whose
+	// routes all live in the strategy spaces.
+	if opt.Algorithm == "LEXIFAIR" {
+		if opt.Converged && membershipOK {
+			r.Checks = append(r.Checks, CheckLexifair)
+			r.checkLexifair(g, a)
+		} else {
+			r.Skipped = append(r.Skipped, CheckLexifair)
+		}
 	}
 	return r
 }
@@ -432,5 +457,14 @@ func (r *Report) checkEquilibrium(in *model.Instance, g *vdps.Generator, a *mode
 		if err := evo.VerifyEquilibrium(g, a); err != nil {
 			r.violate(CheckEquilibrium, -1, err.Error())
 		}
+	}
+}
+
+// checkLexifair runs the leximin certificate: assign.VerifyLexifair
+// independently re-solves each frozen payoff level and rejects any
+// assignment whose minimum could be raised without hurting a poorer worker.
+func (r *Report) checkLexifair(g *vdps.Generator, a *model.Assignment) {
+	if err := assign.VerifyLexifair(context.Background(), g, a, 0); err != nil {
+		r.violate(CheckLexifair, -1, err.Error())
 	}
 }

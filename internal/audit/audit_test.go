@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"fairtask/internal/assign"
 	"fairtask/internal/evo"
 	"fairtask/internal/game"
 	"fairtask/internal/geo"
@@ -387,5 +388,59 @@ func TestCloseTo(t *testing.T) {
 	}
 	if !closeTo(0, 1e-9, 1e-6) {
 		t.Error("near-zero absolute comparison rejected")
+	}
+}
+
+// A converged Lexifair solve must pass the leximin certificate end to end.
+func TestRunCleanLexifair(t *testing.T) {
+	in := lineInstance(4, 2, 100, 2)
+	g := mustGenerate(t, in)
+	res, err := (assign.Lexifair{}).Assign(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("Lexifair did not converge on a trivial instance")
+	}
+	rep := Run(in, res.Assignment, &res.Summary, Options{
+		Generator: g, Algorithm: "LEXIFAIR", Converged: true,
+	})
+	if !rep.OK() {
+		t.Fatalf("clean LEXIFAIR result failed audit: %v", rep.Violations)
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c == CheckLexifair {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Checks = %v, want CheckLexifair included", rep.Checks)
+	}
+	if hasSkipped(rep, CheckLexifair) {
+		t.Error("CheckLexifair skipped on a converged LEXIFAIR run")
+	}
+}
+
+// A suboptimal assignment labeled LEXIFAIR must be caught by the leximin
+// certificate, and an unconverged run must skip it.
+func TestLexifairCertificateBreakAndSkip(t *testing.T) {
+	in := lineInstance(4, 2, 100, 2)
+	g := mustGenerate(t, in)
+	empty := model.NewAssignment(len(in.Workers))
+	rep := Run(in, empty, nil, Options{
+		Generator: g, Algorithm: "LEXIFAIR", Converged: true,
+	})
+	if !hasViolation(rep, CheckLexifair, -2) {
+		t.Errorf("empty assignment passed the leximin certificate: %v", rep.Violations)
+	}
+	rep = Run(in, empty, nil, Options{
+		Generator: g, Algorithm: "LEXIFAIR", Converged: false,
+	})
+	if hasViolation(rep, CheckLexifair, -2) {
+		t.Error("unconverged run was held to the leximin certificate")
+	}
+	if !hasSkipped(rep, CheckLexifair) {
+		t.Error("unconverged LEXIFAIR run did not record the skip")
 	}
 }

@@ -2,8 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"fairtask/internal/model"
 )
 
 // FuzzReadCSV checks the CSV reader never panics and that anything it
@@ -39,6 +42,61 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if again.TaskCount() != prob.TaskCount() || again.WorkerCount() != prob.WorkerCount() {
 			t.Fatal("round trip changed the problem")
+		}
+	})
+}
+
+// FuzzReadAssignmentCSV checks the assignment-route reader never panics,
+// rejects malformed input with the typed ErrAssignmentCSV sentinel, and
+// shapes every accepted result like the problem it resolves against.
+func FuzzReadAssignmentCSV(f *testing.F) {
+	p, err := GenerateSYN(SYNConfig{Seed: 2, Centers: 2, Tasks: 12, Workers: 4, DeliveryPoints: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	header := "center,worker,stop,point,arrival,reward,payoff\n"
+	// Seed corpus: a real (empty-routes) export plus the canonical header
+	// with plausible and malformed rows.
+	empty := make([]*model.Assignment, len(p.Instances))
+	for i := range empty {
+		empty[i] = model.NewAssignment(len(p.Instances[i].Workers))
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignmentCSV(&buf, p, empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(header)
+	f.Add(header + "0,0,0,0,1,1,1\n")
+	f.Add(header + "0,0,0,0,1,1,1\n0,0,1,1,2,1,1\n")
+	f.Add(header + "99,0,0,0,1,1,1\n")
+	f.Add(header + "0,99,0,0,1,1,1\n")
+	f.Add(header + "0,0,-1,0,1,1,1\n")
+	f.Add(header + "0,0,0,0,1,1,1\n0,0,0,1,1,1,1\n")
+	f.Add(header + "0,0,5,0,1,1,1\n")
+	f.Add("garbage")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadAssignmentCSV(strings.NewReader(data), p)
+		if err != nil {
+			if !errors.Is(err, ErrAssignmentCSV) {
+				t.Fatalf("rejection %v is not typed as ErrAssignmentCSV", err)
+			}
+			return
+		}
+		if len(got) != len(p.Instances) {
+			t.Fatalf("accepted result has %d assignments for %d instances",
+				len(got), len(p.Instances))
+		}
+		for i, a := range got {
+			if a == nil {
+				t.Fatalf("accepted result has nil assignment for instance %d", i)
+			}
+			if len(a.Routes) != len(p.Instances[i].Workers) {
+				t.Fatalf("instance %d: %d routes for %d workers",
+					i, len(a.Routes), len(p.Instances[i].Workers))
+			}
 		}
 	})
 }

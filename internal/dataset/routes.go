@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,11 @@ import (
 	"fairtask/internal/model"
 	"fairtask/internal/payoff"
 )
+
+// ErrAssignmentCSV is the sentinel wrapped by every ReadAssignmentCSV
+// rejection — malformed rows, unknown IDs, duplicate or missing stops.
+// Classify parse failures with errors.Is without matching message text.
+var ErrAssignmentCSV = errors.New("dataset: invalid assignment csv")
 
 // WriteAssignmentCSV writes the routes of a per-center assignment set as a
 // flat CSV for downstream tooling (dispatch systems, dashboards). One row
@@ -77,12 +83,12 @@ func ReadAssignmentCSV(r io.Reader, p *model.Problem) ([]*model.Assignment, erro
 	cr.FieldsPerRecord = 7
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read assignment header: %w", err)
+		return nil, fmt.Errorf("%w: read header: %v", ErrAssignmentCSV, err)
 	}
 	want := []string{"center", "worker", "stop", "point", "arrival", "reward", "payoff"}
 	for i, col := range want {
 		if header[i] != col {
-			return nil, fmt.Errorf("dataset: assignment column %d is %q, want %q", i, header[i], col)
+			return nil, fmt.Errorf("%w: column %d is %q, want %q", ErrAssignmentCSV, i, header[i], col)
 		}
 	}
 
@@ -112,45 +118,45 @@ func ReadAssignmentCSV(r io.Reader, p *model.Problem) ([]*model.Assignment, erro
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: assignment line %d: %w", line, err)
+			return nil, fmt.Errorf("%w: line %d: %v", ErrAssignmentCSV, line, err)
 		}
 		centerID, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: assignment line %d: bad center %q", line, rec[0])
+			return nil, fmt.Errorf("%w: line %d: bad center %q", ErrAssignmentCSV, line, rec[0])
 		}
 		inst, ok := centers[centerID]
 		if !ok {
-			return nil, fmt.Errorf("dataset: assignment line %d: unknown center %d", line, centerID)
+			return nil, fmt.Errorf("%w: line %d: unknown center %d", ErrAssignmentCSV, line, centerID)
 		}
 		workerID, err := strconv.Atoi(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: assignment line %d: bad worker %q", line, rec[1])
+			return nil, fmt.Errorf("%w: line %d: bad worker %q", ErrAssignmentCSV, line, rec[1])
 		}
 		wi, ok := workers[inst][workerID]
 		if !ok {
-			return nil, fmt.Errorf("dataset: assignment line %d: unknown worker %d in center %d",
-				line, workerID, centerID)
+			return nil, fmt.Errorf("%w: line %d: unknown worker %d in center %d",
+				ErrAssignmentCSV, line, workerID, centerID)
 		}
 		stop, err := strconv.Atoi(rec[2])
 		if err != nil || stop < 0 {
-			return nil, fmt.Errorf("dataset: assignment line %d: bad stop %q", line, rec[2])
+			return nil, fmt.Errorf("%w: line %d: bad stop %q", ErrAssignmentCSV, line, rec[2])
 		}
 		pointID, err := strconv.Atoi(rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: assignment line %d: bad point %q", line, rec[3])
+			return nil, fmt.Errorf("%w: line %d: bad point %q", ErrAssignmentCSV, line, rec[3])
 		}
 		pi, ok := points[inst][pointID]
 		if !ok {
-			return nil, fmt.Errorf("dataset: assignment line %d: unknown point %d in center %d",
-				line, pointID, centerID)
+			return nil, fmt.Errorf("%w: line %d: unknown point %d in center %d",
+				ErrAssignmentCSV, line, pointID, centerID)
 		}
 		k := routeKey{inst, wi}
 		if stops[k] == nil {
 			stops[k] = make(map[int]int)
 		}
 		if _, dup := stops[k][stop]; dup {
-			return nil, fmt.Errorf("dataset: assignment line %d: duplicate stop %d for worker %d in center %d",
-				line, stop, workerID, centerID)
+			return nil, fmt.Errorf("%w: line %d: duplicate stop %d for worker %d in center %d",
+				ErrAssignmentCSV, line, stop, workerID, centerID)
 		}
 		stops[k][stop] = pi
 	}
@@ -164,8 +170,8 @@ func ReadAssignmentCSV(r io.Reader, p *model.Problem) ([]*model.Assignment, erro
 		for stop, pi := range byStop {
 			if stop >= len(route) {
 				in := &p.Instances[k.inst]
-				return nil, fmt.Errorf("dataset: center %d worker %d: stop %d with only %d stops (missing earlier stop)",
-					in.CenterID, in.Workers[k.worker].ID, stop, len(byStop))
+				return nil, fmt.Errorf("%w: center %d worker %d: stop %d with only %d stops (missing earlier stop)",
+					ErrAssignmentCSV, in.CenterID, in.Workers[k.worker].ID, stop, len(byStop))
 			}
 			route[stop] = pi
 		}

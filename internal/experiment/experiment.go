@@ -22,6 +22,7 @@ import (
 	"fairtask/internal/evo"
 	"fairtask/internal/game"
 	"fairtask/internal/model"
+	"fairtask/internal/payoff"
 	"fairtask/internal/platform"
 	"fairtask/internal/vdps"
 )
@@ -68,6 +69,9 @@ type Point struct {
 	PayoffDiff float64
 	// AvgPayoff is the mean worker payoff.
 	AvgPayoff float64
+	// MinPayoff is the smallest worker payoff — the egalitarian objective
+	// the lexifair comparison ranks algorithms by.
+	MinPayoff float64
 	// CPUSeconds is the wall-clock solve time (VDPS generation included).
 	CPUSeconds float64
 	// Iterations reports game rounds (0 for one-shot baselines).
@@ -164,6 +168,7 @@ func measureProblem(p *model.Problem, alg assign.Assigner, vopt vdps.Options, pa
 		Algorithm:  alg.Name(),
 		PayoffDiff: res.Difference,
 		AvgPayoff:  res.Average,
+		MinPayoff:  payoff.MinPayoff(res.Payoffs),
 		CPUSeconds: time.Since(start).Seconds(),
 		Iterations: iters,
 	}, nil

@@ -20,7 +20,8 @@ func TestNamesComplete(t *testing.T) {
 		"ablation-decomposition", "ablation-earlyterm", "ablation-index",
 		"ablation-mutation", "ablation-order",
 		"fig10", "fig11", "fig12", "fig2", "fig3", "fig4",
-		"fig5", "fig6", "fig7", "fig8", "fig9", "hetero", "online", "optgap",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "hetero", "lexifair",
+		"online", "optgap",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("registered figures = %v", names)
@@ -335,6 +336,44 @@ func TestOptGap(t *testing.T) {
 			}
 			if p.AvgPayoff > exact.AvgPayoff+1e-9 {
 				t.Errorf("seed %g: %s score %g beats EXACT %g", x, a, p.AvgPayoff, exact.AvgPayoff)
+			}
+		}
+	}
+}
+
+func TestLexifairExperiment(t *testing.T) {
+	s, err := Run("lexifair", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := s.algorithmsInOrder()
+	want := []string{"FGT", "IEGT", "MMTA", "LEXIFAIR"}
+	if len(algs) != len(want) {
+		t.Fatalf("algorithms = %v, want %v", algs, want)
+	}
+	for i := range want {
+		if algs[i] != want[i] {
+			t.Fatalf("algorithms = %v, want %v", algs, want)
+		}
+	}
+	// LEXIFAIR maximizes the minimum payoff first, so on these exactly
+	// solvable instances no baseline may beat its MinPayoff.
+	for _, x := range s.xValues() {
+		lex, ok := s.Lookup(x, "LEXIFAIR")
+		if !ok {
+			t.Fatalf("LEXIFAIR missing at seed %g", x)
+		}
+		for _, a := range algs {
+			if a == "LEXIFAIR" {
+				continue
+			}
+			p, ok := s.Lookup(x, a)
+			if !ok {
+				t.Fatalf("%s missing at seed %g", a, x)
+			}
+			if p.MinPayoff > lex.MinPayoff+1e-9 {
+				t.Errorf("seed %g: %s min payoff %g beats LEXIFAIR %g",
+					x, a, p.MinPayoff, lex.MinPayoff)
 			}
 		}
 	}

@@ -22,6 +22,7 @@ func (s *Series) WriteTables(w io.Writer) error {
 	}{
 		{"payoff difference (P_dif)", func(p Point) float64 { return p.PayoffDiff }},
 		{"average payoff", func(p Point) float64 { return p.AvgPayoff }},
+		{"minimum payoff", func(p Point) float64 { return p.MinPayoff }},
 		{"CPU time (s)", func(p Point) float64 { return p.CPUSeconds }},
 	}
 	for _, m := range metrics {
@@ -100,12 +101,12 @@ func (s *Series) writePivot(w io.Writer, title string, get func(Point) float64) 
 // WriteCSV emits the series as a flat CSV (one row per measurement) for
 // external plotting tools:
 //
-//	figure,x,algorithm,payoff_diff,avg_payoff,cpu_seconds,iterations
+//	figure,x,algorithm,payoff_diff,avg_payoff,min_payoff,cpu_seconds,iterations
 func (s *Series) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 	if err := cw.Write([]string{
-		"figure", "x", "algorithm", "payoff_diff", "avg_payoff", "cpu_seconds", "iterations",
+		"figure", "x", "algorithm", "payoff_diff", "avg_payoff", "min_payoff", "cpu_seconds", "iterations",
 	}); err != nil {
 		return err
 	}
@@ -113,7 +114,7 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	for _, p := range s.Points {
 		rec := []string{
 			s.Figure, f(p.X), p.Algorithm,
-			f(p.PayoffDiff), f(p.AvgPayoff), f(p.CPUSeconds),
+			f(p.PayoffDiff), f(p.AvgPayoff), f(p.MinPayoff), f(p.CPUSeconds),
 			strconv.Itoa(p.Iterations),
 		}
 		if err := cw.Write(rec); err != nil {

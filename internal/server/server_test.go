@@ -24,6 +24,8 @@ func testFactory(algorithm string, seed int64) (assign.Assigner, error) {
 		return assign.GTA{}, nil
 	case "MMTA":
 		return assign.MMTA{}, nil
+	case "LEXIFAIR":
+		return assign.Lexifair{}, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
 	}
@@ -372,4 +374,30 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// The HTTP layer must serve the leximin assigner like any other algorithm
+// value — the same path fta serve exposes through fairtask.NewAssigner.
+func TestSolveEndpointLexifair(t *testing.T) {
+	srv := httptest.NewServer(New(testFactory))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve?alg=LEXIFAIR&eps=2", "text/csv",
+		bytes.NewReader(problemCSV(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "LEXIFAIR" {
+		t.Errorf("algorithm = %q", out.Algorithm)
+	}
+	if len(out.Routes) == 0 {
+		t.Error("no routes returned")
+	}
 }
